@@ -1,0 +1,23 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so the package can be installed in editable mode on offline machines
+whose pip/setuptools tool-chain lacks the ``wheel`` package (``pip install -e .``
+falls back to the legacy ``setup.py develop`` path, and
+``python setup.py develop`` works directly).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "SGCN (HPCA 2023) reproduction: compressed-sparse features for deep "
+        "GCN accelerators"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.21"],
+)

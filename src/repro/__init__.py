@@ -1,0 +1,71 @@
+"""SGCN reproduction library.
+
+This package reproduces the system described in "SGCN: Exploiting
+Compressed-Sparse Features in Deep Graph Convolutional Network Accelerators"
+(HPCA 2023).  It contains:
+
+* ``repro.graphs`` — graph data structures and synthetic dataset generators
+  calibrated to the paper's Table II.
+* ``repro.gcn`` — numpy implementations of GCN / GINConv / GraphSAGE layers,
+  deep residual models, and intermediate-feature sparsity tooling.
+* ``repro.formats`` — sparse feature formats (Dense, CSR, COO, BSR, Blocked
+  Ellpack, BEICSR) with functional encode/decode and memory-traffic models.
+* ``repro.memory`` — cache and HBM DRAM models plus energy tables.
+* ``repro.accelerator`` — the SGCN accelerator model and baseline models of
+  GCNAX, HyGCN, AWB-GCN, EnGN, and I-GCN.
+* ``repro.core`` — configuration dataclasses, the high-level ``simulate()``
+  API, and result/comparison helpers.
+* ``repro.experiments`` — one function per paper figure and table.
+
+Quickstart::
+
+    from repro import simulate, load_dataset, SystemConfig
+
+    dataset = load_dataset("cora")
+    result = simulate(dataset, accelerator="sgcn", config=SystemConfig())
+    print(result.total_cycles, result.dram_traffic_bytes)
+"""
+
+from __future__ import annotations
+
+from repro.core.config import (
+    CacheConfig,
+    DRAMConfig,
+    EngineConfig,
+    SystemConfig,
+)
+from repro.core.api import simulate, compare_accelerators, available_accelerators
+from repro.core.results import LayerResult, SimulationResult, ComparisonResult
+from repro.graphs.datasets import load_dataset, available_datasets
+from repro.errors import (
+    ConfigurationError,
+    DatasetError,
+    FormatError,
+    GraphError,
+    ReproError,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "DRAMConfig",
+    "EngineConfig",
+    "SystemConfig",
+    "simulate",
+    "compare_accelerators",
+    "available_accelerators",
+    "LayerResult",
+    "SimulationResult",
+    "ComparisonResult",
+    "load_dataset",
+    "available_datasets",
+    "ReproError",
+    "ConfigurationError",
+    "GraphError",
+    "FormatError",
+    "SimulationError",
+    "DatasetError",
+    "__version__",
+]

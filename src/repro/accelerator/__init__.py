@@ -1,0 +1,45 @@
+"""Accelerator models: SGCN and the prior-work baselines it is compared to."""
+
+from __future__ import annotations
+
+from repro.accelerator.engines import SIMDAggregationEngine, PrefixSumUnit
+from repro.accelerator.systolic import SystolicArray
+from repro.accelerator.aggregator import SparseAggregator
+from repro.accelerator.compressor import PostCombinationCompressor
+from repro.accelerator.simulator import (
+    LayerWorkload,
+    PhaseResult,
+    build_workloads,
+    AcceleratorModel,
+)
+from repro.accelerator.sgcn import SGCNAccelerator
+from repro.accelerator.baselines import (
+    GCNAXAccelerator,
+    HyGCNAccelerator,
+    AWBGCNAccelerator,
+    EnGNAccelerator,
+    IGCNAccelerator,
+)
+from repro.accelerator.registry import available_accelerators, get_accelerator
+from repro.accelerator.energy_model import AcceleratorEnergyModel
+
+__all__ = [
+    "SIMDAggregationEngine",
+    "PrefixSumUnit",
+    "SystolicArray",
+    "SparseAggregator",
+    "PostCombinationCompressor",
+    "LayerWorkload",
+    "PhaseResult",
+    "build_workloads",
+    "AcceleratorModel",
+    "SGCNAccelerator",
+    "GCNAXAccelerator",
+    "HyGCNAccelerator",
+    "AWBGCNAccelerator",
+    "EnGNAccelerator",
+    "IGCNAccelerator",
+    "available_accelerators",
+    "get_accelerator",
+    "AcceleratorEnergyModel",
+]

@@ -1,0 +1,132 @@
+"""Per-accelerator area, peak-power (TDP), and energy modelling.
+
+The paper synthesises the designs (Verilog + Design Compiler, CACTI for the
+caches) and reports chip area and peak power alongside the simulated energy.
+We cannot run synthesis, so this module carries the published implementation
+figures as calibrated constants (they are design properties, not simulation
+outputs) together with a simple analytical estimator used for configurations
+the paper does not report (e.g. scaled engine counts).
+
+The *dynamic* energy of a run always comes from the simulator's event counts
+via :class:`repro.memory.energy.EnergyTable`; this module only adds the
+design-level constants needed for the Fig. 13 TDP markers and the area
+discussion of Section VI-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.config import SystemConfig
+from repro.core.results import SimulationResult
+from repro.errors import ConfigurationError
+from repro.memory.energy import EnergyTable
+
+
+@dataclass(frozen=True)
+class ImplementationFigures:
+    """Synthesis-derived figures for one accelerator design.
+
+    Attributes:
+        area_mm2: Chip area at the 32 nm-equivalent node.
+        tdp_watts: Peak (thermal design) power.
+    """
+
+    area_mm2: float
+    tdp_watts: float
+
+
+#: Published implementation figures (paper Section VI-A and Fig. 13).
+PUBLISHED_IMPLEMENTATIONS: Dict[str, ImplementationFigures] = {
+    "gcnax": ImplementationFigures(area_mm2=3.95, tdp_watts=7.16),
+    "sgcn": ImplementationFigures(area_mm2=4.05, tdp_watts=6.74),
+    "awb_gcn": ImplementationFigures(area_mm2=4.25, tdp_watts=7.03),
+    "hygcn": ImplementationFigures(area_mm2=3.90, tdp_watts=5.94),
+    "engn": ImplementationFigures(area_mm2=4.00, tdp_watts=6.90),
+    "igcn": ImplementationFigures(area_mm2=4.10, tdp_watts=7.05),
+}
+
+
+class AcceleratorEnergyModel:
+    """Design-level power/area model for the accelerators."""
+
+    def __init__(self, energy_table: EnergyTable = EnergyTable()) -> None:
+        self.energy_table = energy_table
+
+    # ------------------------------------------------------------------ #
+    def implementation(self, accelerator: str) -> ImplementationFigures:
+        """Published area/TDP for ``accelerator`` (ablation variants map to SGCN)."""
+        key = accelerator.lower()
+        if key.startswith("sgcn"):
+            key = "sgcn"
+        if key not in PUBLISHED_IMPLEMENTATIONS:
+            raise ConfigurationError(
+                f"no implementation figures for accelerator {accelerator!r}"
+            )
+        return PUBLISHED_IMPLEMENTATIONS[key]
+
+    def estimated_tdp_watts(self, accelerator: str, config: SystemConfig) -> float:
+        """Estimate TDP for a (possibly non-default) engine configuration.
+
+        The published TDP is scaled with the compute array sizes and the
+        memory interface width: peak compute power scales with the number of
+        MAC units; the HBM PHY contribution scales with peak bandwidth.
+        """
+        base = self.implementation(accelerator)
+        default = SystemConfig()
+        compute_units = (
+            config.engines.num_combination_engines
+            * config.engines.systolic_rows
+            * config.engines.systolic_cols
+            + config.engines.num_aggregation_engines * config.engines.simd_width
+        )
+        default_units = (
+            default.engines.num_combination_engines
+            * default.engines.systolic_rows
+            * default.engines.systolic_cols
+            + default.engines.num_aggregation_engines * default.engines.simd_width
+        )
+        compute_share = 0.55
+        memory_share = 0.45
+        compute_power = base.tdp_watts * compute_share * compute_units / default_units
+        memory_power = (
+            base.tdp_watts
+            * memory_share
+            * config.dram.peak_bandwidth_gbps
+            / default.dram.peak_bandwidth_gbps
+        )
+        return compute_power + memory_power
+
+    # ------------------------------------------------------------------ #
+    def average_power_watts(
+        self, result: SimulationResult, config: SystemConfig
+    ) -> float:
+        """Average power drawn over one simulated run."""
+        return self.energy_table.average_power_w(
+            result.energy, result.total_cycles, config.engines.frequency_ghz
+        )
+
+    def energy_breakdown_normalized(
+        self, results: Dict[str, SimulationResult], baseline: str = "gcnax"
+    ) -> Dict[str, Dict[str, float]]:
+        """Per-accelerator energy components normalised to ``baseline``'s total.
+
+        This is the data of Fig. 13: for every accelerator, the compute /
+        cache / DRAM energy shares expressed relative to the baseline's total
+        energy on the same dataset.
+        """
+        if baseline not in results:
+            raise ConfigurationError(f"baseline {baseline!r} missing from results")
+        base_total = results[baseline].energy.total_joules
+        normalized: Dict[str, Dict[str, float]] = {}
+        for name, result in results.items():
+            breakdown = result.energy
+            normalized[name] = {
+                "compute": breakdown.compute_joules / base_total,
+                "cache": breakdown.cache_joules / base_total,
+                "dram": breakdown.dram_joules / base_total,
+                "total": breakdown.total_joules / base_total,
+                "tdp_watts": self.implementation(name).tdp_watts,
+            }
+        return normalized

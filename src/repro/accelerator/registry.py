@@ -1,0 +1,71 @@
+"""Registry of accelerator models by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.accelerator.baselines import (
+    AWBGCNAccelerator,
+    EnGNAccelerator,
+    GCNAXAccelerator,
+    HyGCNAccelerator,
+    IGCNAccelerator,
+)
+from repro.accelerator.sgcn import (
+    SGCNAccelerator,
+    SGCNNoSACAccelerator,
+    SGCNNonSlicedAccelerator,
+    SGCNPackedAccelerator,
+)
+from repro.accelerator.simulator import AcceleratorModel
+from repro.errors import ConfigurationError
+
+_FACTORIES: Dict[str, Callable[[], AcceleratorModel]] = {
+    "gcnax": GCNAXAccelerator,
+    "hygcn": HyGCNAccelerator,
+    "awb_gcn": AWBGCNAccelerator,
+    "engn": EnGNAccelerator,
+    "igcn": IGCNAccelerator,
+    "sgcn": SGCNAccelerator,
+    "sgcn_no_sac": SGCNNoSACAccelerator,
+    "sgcn_nonsliced": SGCNNonSlicedAccelerator,
+    "sgcn_packed": SGCNPackedAccelerator,
+}
+
+#: Accelerators plotted in the paper's main comparison figures (11, 13-16).
+PAPER_COMPARISON = ("gcnax", "hygcn", "awb_gcn", "engn", "igcn", "sgcn")
+
+#: Accelerators of the ablation study (Fig. 12), in bar order.
+ABLATION_SEQUENCE = ("gcnax", "sgcn_nonsliced", "sgcn_no_sac", "sgcn")
+
+
+def available_accelerators() -> List[str]:
+    """Names of every registered accelerator model."""
+    return sorted(_FACTORIES)
+
+
+def register_accelerator(name: str, factory: Callable[[], AcceleratorModel]) -> None:
+    """Register a custom accelerator model.
+
+    Raises:
+        ConfigurationError: If ``name`` is already registered.
+    """
+    key = name.lower()
+    if key in _FACTORIES:
+        raise ConfigurationError(f"accelerator {name!r} is already registered")
+    _FACTORIES[key] = factory
+
+
+def get_accelerator(name: str) -> AcceleratorModel:
+    """Instantiate an accelerator model by name (case-insensitive).
+
+    Common aliases (``"awb-gcn"``, ``"i-gcn"``) are accepted.
+    """
+    key = name.lower().replace("-", "_").replace(" ", "_")
+    aliases = {"awbgcn": "awb_gcn", "i_gcn": "igcn"}
+    key = aliases.get(key, key)
+    if key not in _FACTORIES:
+        raise ConfigurationError(
+            f"unknown accelerator {name!r}; available: {', '.join(available_accelerators())}"
+        )
+    return _FACTORIES[key]()

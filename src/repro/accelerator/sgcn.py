@@ -1,0 +1,111 @@
+"""The SGCN accelerator model and its ablation variants.
+
+SGCN builds on the GCNAX-style tiled baseline (same tiling machinery, same
+engine counts) and adds the paper's three techniques:
+
+1. intermediate features are stored in **BEICSR** (sliced, ``C`` = 96 by
+   default), so every feature-row read transfers only the occupied prefix of
+   each slice and the post-combination compressor writes the next layer's
+   features compressed at no extra traffic;
+2. the **sparse aggregator** multiplies only the non-zero elements, scaling
+   the aggregation compute with the feature density;
+3. **sparsity-aware cooperation** deals 32-vertex source strips to the
+   engines round-robin, creating nested reuse windows that keep the cache
+   effective when the actual sparsity is lower than the static tiling
+   assumed.
+
+The ablation variants (Fig. 12) are expressed as subclasses:
+``SGCNNonSlicedAccelerator`` (whole-row BEICSR, no feature slicing, no SAC)
+and ``SGCNNoSACAccelerator`` (sliced BEICSR, conventional engine
+partitioning).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.accelerator.simulator import AcceleratorModel
+from repro.formats.registry import get_format
+
+
+class SGCNAccelerator(AcceleratorModel):
+    """The full SGCN design (sliced BEICSR + sparse aggregator + SAC)."""
+
+    name = "sgcn"
+    display_name = "SGCN"
+    feature_format_name = "beicsr"
+    execution_order = "aggregation-first"
+    uses_destination_tiling = True
+    engine_partition = "sac"
+    #: Tiles are sized off line from the dataset's *average* sparsity — the
+    #: best a static analysis of a compressed-feature design can do — so
+    #: layers that end up denser than the average overflow the tile budget,
+    #: exactly the situation sparsity-aware cooperation is designed for.
+    tile_with_average_sparsity = True
+    #: Perfect tiling: the destination tile is sized to the whole cache from
+    #: the (average-sparsity) estimate, so denser-than-average layers
+    #: overflow it.
+    tiling_fill_fraction = 1.0
+    sparse_aggregation_compute = True
+    sparse_first_layer = True
+    supports_residual = True
+    target_layers = ">5"
+
+    def __init__(self, slice_size: Optional[int] = None) -> None:
+        super().__init__()
+        if slice_size is not None:
+            self._format = get_format("beicsr", slice_size=slice_size)
+
+    @property
+    def slice_size(self) -> Optional[int]:
+        """Unit slice size ``C`` of the BEICSR format in use."""
+        return getattr(self._format, "slice_size", None)
+
+
+class SGCNNoSACAccelerator(SGCNAccelerator):
+    """SGCN with sliced BEICSR but conventional engine partitioning.
+
+    Fig. 12's "BEICSR" bar: the format and the sparse aggregator are active,
+    feature-matrix slicing keeps the dataflow optimal, but each engine still
+    owns a contiguous quarter of the source range, so the combined working
+    set has a single large reuse window.
+    """
+
+    name = "sgcn_no_sac"
+    display_name = "SGCN (BEICSR, no SAC)"
+    engine_partition = "contiguous"
+
+
+class SGCNNonSlicedAccelerator(SGCNAccelerator):
+    """SGCN with whole-row (non-sliced) BEICSR.
+
+    Fig. 12's "Non-sliced BEICSR" bar: the compressed format already removes
+    most of the feature traffic, but without per-slice bitmaps the feature
+    matrix cannot be sliced, so the accelerator is stuck with a single pass
+    over full rows and a sub-optimal dataflow when the working set is large.
+    """
+
+    name = "sgcn_nonsliced"
+    display_name = "SGCN (non-sliced BEICSR)"
+    feature_format_name = "beicsr_nonsliced"
+    engine_partition = "contiguous"
+
+    def __init__(self) -> None:  # non-sliced variant has no slice size knob
+        AcceleratorModel.__init__(self)
+
+
+class SGCNPackedAccelerator(SGCNAccelerator):
+    """Ablation: BEICSR without in-place storage (packed, variable length).
+
+    Not part of the paper's Fig. 12 but used by the extra ablation benchmark
+    to quantify the cost of dropping in-place compression: rows become
+    unaligned, an indirection array is required, and parallel output writes
+    serialise.
+    """
+
+    name = "sgcn_packed"
+    display_name = "SGCN (packed BEICSR)"
+    feature_format_name = "beicsr_packed"
+
+    def __init__(self) -> None:
+        AcceleratorModel.__init__(self)

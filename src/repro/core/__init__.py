@@ -1,0 +1,29 @@
+"""High-level API: configuration, simulation entry points, and results."""
+
+from __future__ import annotations
+
+from repro.core.config import (
+    CacheConfig,
+    DRAMConfig,
+    EngineConfig,
+    SystemConfig,
+    HBM1,
+    HBM2,
+)
+from repro.core.results import LayerResult, SimulationResult, ComparisonResult
+from repro.core.api import simulate, compare_accelerators, available_accelerators
+
+__all__ = [
+    "CacheConfig",
+    "DRAMConfig",
+    "EngineConfig",
+    "SystemConfig",
+    "HBM1",
+    "HBM2",
+    "LayerResult",
+    "SimulationResult",
+    "ComparisonResult",
+    "simulate",
+    "compare_accelerators",
+    "available_accelerators",
+]

@@ -1,0 +1,131 @@
+"""High-level simulation API.
+
+Most users interact with the library through three functions:
+
+* :func:`simulate` — run one accelerator on one dataset;
+* :func:`compare_accelerators` — run several accelerators on the same dataset
+  and collect normalised speedups / traffic / energy;
+* :func:`available_accelerators` — list the modelled designs.
+
+Example::
+
+    from repro import load_dataset, simulate, compare_accelerators
+
+    dataset = load_dataset("pubmed", max_vertices=1024)
+    sgcn = simulate(dataset, "sgcn")
+    comparison = compare_accelerators(dataset, ["gcnax", "hygcn", "sgcn"])
+    print(comparison.speedups("gcnax"))
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.accelerator.registry import (
+    PAPER_COMPARISON,
+    available_accelerators as _available_accelerators,
+    get_accelerator,
+)
+from repro.accelerator.simulator import AcceleratorModel
+from repro.core.config import SystemConfig
+from repro.core.results import ComparisonResult, SimulationResult
+from repro.errors import SimulationError
+from repro.graphs.datasets import Dataset, load_dataset
+
+
+def available_accelerators() -> List[str]:
+    """Names of every modelled accelerator."""
+    return _available_accelerators()
+
+
+def _resolve_dataset(dataset: Union[Dataset, str], max_vertices: int) -> Dataset:
+    if isinstance(dataset, Dataset):
+        return dataset
+    return load_dataset(dataset, max_vertices=max_vertices)
+
+
+def _resolve_accelerator(accelerator: Union[AcceleratorModel, str]) -> AcceleratorModel:
+    if isinstance(accelerator, AcceleratorModel):
+        return accelerator
+    return get_accelerator(accelerator)
+
+
+def simulate(
+    dataset: Union[Dataset, str],
+    accelerator: Union[AcceleratorModel, str] = "sgcn",
+    config: Optional[SystemConfig] = None,
+    variant: str = "gcn",
+    max_vertices: int = 2048,
+    max_sampled_layers: int = 6,
+    seed: int = 0,
+) -> SimulationResult:
+    """Simulate one accelerator running a deep GCN on one dataset.
+
+    Args:
+        dataset: A :class:`~repro.graphs.datasets.Dataset` or a dataset name.
+        accelerator: An accelerator model instance or registry name.
+        config: System configuration (paper Table III defaults when omitted).
+        variant: Aggregation variant (``"gcn"``, ``"gin"``, ``"sage"``).
+        max_vertices: Scale cap applied when ``dataset`` is given by name.
+        max_sampled_layers: Representative-layer sampling budget.
+        seed: Seed for the synthetic per-row sparsity draws.
+
+    Returns:
+        The :class:`~repro.core.results.SimulationResult` of the run.
+    """
+    dataset_obj = _resolve_dataset(dataset, max_vertices)
+    model = _resolve_accelerator(accelerator)
+    return model.simulate(
+        dataset_obj,
+        config=config,
+        variant=variant,
+        max_sampled_layers=max_sampled_layers,
+        seed=seed,
+    )
+
+
+def compare_accelerators(
+    dataset: Union[Dataset, str],
+    accelerators: Optional[Sequence[Union[AcceleratorModel, str]]] = None,
+    config: Optional[SystemConfig] = None,
+    variant: str = "gcn",
+    baseline: str = "gcnax",
+    max_vertices: int = 2048,
+    max_sampled_layers: int = 6,
+    seed: int = 0,
+) -> ComparisonResult:
+    """Simulate several accelerators on the same dataset and configuration.
+
+    Args:
+        dataset: Dataset instance or name.
+        accelerators: Accelerators to compare; defaults to the paper's main
+            comparison set (GCNAX, HyGCN, AWB-GCN, EnGN, I-GCN, SGCN).
+        config: Shared system configuration.
+        variant: Aggregation variant.
+        baseline: Name used as the normalisation baseline.
+        max_vertices: Scale cap applied when ``dataset`` is given by name.
+        max_sampled_layers: Representative-layer sampling budget.
+        seed: Seed for the synthetic per-row sparsity draws.
+
+    Returns:
+        A :class:`~repro.core.results.ComparisonResult`.
+    """
+    dataset_obj = _resolve_dataset(dataset, max_vertices)
+    names: Iterable[Union[AcceleratorModel, str]] = accelerators or PAPER_COMPARISON
+    comparison = ComparisonResult(dataset=dataset_obj.name, baseline=baseline)
+    for entry in names:
+        model = _resolve_accelerator(entry)
+        comparison.add(
+            model.simulate(
+                dataset_obj,
+                config=config,
+                variant=variant,
+                max_sampled_layers=max_sampled_layers,
+                seed=seed,
+            )
+        )
+    if baseline not in comparison.results:
+        raise SimulationError(
+            f"baseline {baseline!r} was not among the simulated accelerators"
+        )
+    return comparison

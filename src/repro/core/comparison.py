@@ -1,0 +1,84 @@
+"""Cross-dataset comparison helpers.
+
+The paper's headline numbers are geometric means across the nine datasets
+(e.g. "SGCN achieves 1.66x speedup over GCNAX in geometric mean").  This
+module aggregates per-dataset :class:`~repro.core.results.ComparisonResult`
+objects into those summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.results import ComparisonResult, geometric_mean
+from repro.errors import SimulationError
+
+
+def geomean_speedups(
+    comparisons: Sequence[ComparisonResult],
+    baseline: str = "gcnax",
+) -> Dict[str, float]:
+    """Geometric-mean speedup of every accelerator across datasets.
+
+    Args:
+        comparisons: One :class:`ComparisonResult` per dataset; every one
+            must contain the baseline and the same set of accelerators.
+        baseline: Normalisation baseline.
+    """
+    if not comparisons:
+        raise SimulationError("need at least one comparison")
+    accelerators = set(comparisons[0].accelerators())
+    for comparison in comparisons:
+        accelerators &= set(comparison.accelerators())
+    summary: Dict[str, float] = {}
+    for name in sorted(accelerators):
+        per_dataset = [comparison.speedups(baseline)[name] for comparison in comparisons]
+        summary[name] = geometric_mean(per_dataset)
+    return summary
+
+
+def geomean_normalized_energy(
+    comparisons: Sequence[ComparisonResult],
+    baseline: str = "gcnax",
+) -> Dict[str, float]:
+    """Geometric-mean normalised energy of every accelerator across datasets."""
+    if not comparisons:
+        raise SimulationError("need at least one comparison")
+    accelerators = set(comparisons[0].accelerators())
+    for comparison in comparisons:
+        accelerators &= set(comparison.accelerators())
+    summary: Dict[str, float] = {}
+    for name in sorted(accelerators):
+        per_dataset = [
+            comparison.normalized_energy(baseline)[name] for comparison in comparisons
+        ]
+        summary[name] = geometric_mean(per_dataset)
+    return summary
+
+
+def speedup_table(
+    comparisons: Sequence[ComparisonResult],
+    baseline: str = "gcnax",
+    accelerators: Optional[Sequence[str]] = None,
+) -> List[Dict[str, object]]:
+    """Tabulate per-dataset speedups (rows) per accelerator (columns).
+
+    The returned list of dictionaries is what the benchmark harness prints as
+    the regenerated Fig. 11 data, with a final geometric-mean row.
+    """
+    if not comparisons:
+        raise SimulationError("need at least one comparison")
+    names = list(accelerators) if accelerators else sorted(comparisons[0].accelerators())
+    rows: List[Dict[str, object]] = []
+    for comparison in comparisons:
+        speedups = comparison.speedups(baseline)
+        row: Dict[str, object] = {"dataset": comparison.dataset}
+        for name in names:
+            row[name] = speedups.get(name)
+        rows.append(row)
+    geo = geomean_speedups(comparisons, baseline)
+    geo_row: Dict[str, object] = {"dataset": "geomean"}
+    for name in names:
+        geo_row[name] = geo.get(name)
+    rows.append(geo_row)
+    return rows

@@ -1,0 +1,254 @@
+"""Result containers for accelerator simulations.
+
+The performance model produces, per layer, a cycle count, a breakdown of the
+off-chip traffic, the work done by the compute engines, and the energy those
+imply.  :class:`SimulationResult` aggregates the layers for one
+(dataset, accelerator, configuration) run; :class:`ComparisonResult` holds a
+set of runs over the same dataset/config and computes the normalised
+speedups and traffic ratios the paper's figures report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.memory.energy import EnergyBreakdown
+
+
+@dataclass
+class TrafficBreakdown:
+    """Off-chip DRAM traffic of one layer or one run, in bytes.
+
+    Attributes:
+        topology_bytes: Graph topology (CSR adjacency) reads.
+        feature_read_bytes: Intermediate/input feature reads.
+        feature_write_bytes: Output feature writes (next layer's input).
+        weight_bytes: Layer weight reads.
+        psum_bytes: Partial-sum spills and refills (column-product designs).
+    """
+
+    topology_bytes: float = 0.0
+    feature_read_bytes: float = 0.0
+    feature_write_bytes: float = 0.0
+    weight_bytes: float = 0.0
+    psum_bytes: float = 0.0
+
+    @property
+    def total_bytes(self) -> float:
+        """Total off-chip traffic."""
+        return (
+            self.topology_bytes
+            + self.feature_read_bytes
+            + self.feature_write_bytes
+            + self.weight_bytes
+            + self.psum_bytes
+        )
+
+    def __add__(self, other: "TrafficBreakdown") -> "TrafficBreakdown":
+        return TrafficBreakdown(
+            topology_bytes=self.topology_bytes + other.topology_bytes,
+            feature_read_bytes=self.feature_read_bytes + other.feature_read_bytes,
+            feature_write_bytes=self.feature_write_bytes + other.feature_write_bytes,
+            weight_bytes=self.weight_bytes + other.weight_bytes,
+            psum_bytes=self.psum_bytes + other.psum_bytes,
+        )
+
+    def scaled(self, factor: float) -> "TrafficBreakdown":
+        """Return a copy with every component multiplied by ``factor``."""
+        return TrafficBreakdown(
+            topology_bytes=self.topology_bytes * factor,
+            feature_read_bytes=self.feature_read_bytes * factor,
+            feature_write_bytes=self.feature_write_bytes * factor,
+            weight_bytes=self.weight_bytes * factor,
+            psum_bytes=self.psum_bytes * factor,
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dictionary view including the total."""
+        return {
+            "topology": self.topology_bytes,
+            "feature_read": self.feature_read_bytes,
+            "feature_write": self.feature_write_bytes,
+            "weights": self.weight_bytes,
+            "psum": self.psum_bytes,
+            "total": self.total_bytes,
+        }
+
+
+@dataclass
+class LayerResult:
+    """Performance model output for one GCN layer.
+
+    Attributes:
+        layer_index: Zero-based layer index.
+        cycles: Total cycles of the layer (phases overlapped if pipelined).
+        aggregation_cycles: Cycles of the aggregation phase alone.
+        combination_cycles: Cycles of the combination phase alone.
+        aggregation_compute_cycles: Compute-bound portion of aggregation.
+        combination_compute_cycles: Compute-bound portion of combination.
+        memory_cycles: Cycles needed to move the layer's off-chip traffic.
+        macs: Multiply-accumulate operations performed.
+        traffic: Off-chip traffic breakdown.
+        cache_accesses: On-chip cache accesses (for energy accounting).
+        cache_hit_rate: Feature-read hit rate observed in the cache model.
+        energy: Energy breakdown of this layer.
+        weight: How many network layers this simulated layer represents
+            (representative-layer sampling uses weights > 1).
+    """
+
+    layer_index: int
+    cycles: float
+    aggregation_cycles: float
+    combination_cycles: float
+    aggregation_compute_cycles: float
+    combination_compute_cycles: float
+    memory_cycles: float
+    macs: float
+    traffic: TrafficBreakdown
+    cache_accesses: float
+    cache_hit_rate: float
+    energy: EnergyBreakdown
+    weight: float = 1.0
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate result of simulating one accelerator on one dataset."""
+
+    accelerator: str
+    dataset: str
+    layers: List[LayerResult] = field(default_factory=list)
+    frequency_ghz: float = 1.0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_cycles(self) -> float:
+        """Total execution cycles (layer weights applied)."""
+        return float(sum(layer.cycles * layer.weight for layer in self.layers))
+
+    @property
+    def runtime_seconds(self) -> float:
+        """Wall-clock execution time implied by the cycle count."""
+        return self.total_cycles / (self.frequency_ghz * 1e9)
+
+    @property
+    def traffic(self) -> TrafficBreakdown:
+        """Total off-chip traffic (layer weights applied)."""
+        total = TrafficBreakdown()
+        for layer in self.layers:
+            total = total + layer.traffic.scaled(layer.weight)
+        return total
+
+    @property
+    def dram_traffic_bytes(self) -> float:
+        """Total off-chip traffic in bytes."""
+        return self.traffic.total_bytes
+
+    @property
+    def total_macs(self) -> float:
+        """Total multiply-accumulate operations."""
+        return float(sum(layer.macs * layer.weight for layer in self.layers))
+
+    @property
+    def energy(self) -> EnergyBreakdown:
+        """Total energy (layer weights applied)."""
+        total = EnergyBreakdown(0.0, 0.0, 0.0)
+        for layer in self.layers:
+            total = total + layer.energy.scaled(layer.weight)
+        return total
+
+    @property
+    def average_cache_hit_rate(self) -> float:
+        """Access-weighted average feature-read hit rate."""
+        weights = [layer.cache_accesses * layer.weight for layer in self.layers]
+        rates = [layer.cache_hit_rate for layer in self.layers]
+        total = sum(weights)
+        if total == 0:
+            return 0.0
+        return float(sum(w * r for w, r in zip(weights, rates)) / total)
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """Speedup of this run relative to ``baseline`` (same dataset)."""
+        if self.total_cycles <= 0:
+            raise SimulationError("cannot compute a speedup from zero cycles")
+        return baseline.total_cycles / self.total_cycles
+
+    def summary(self) -> Dict[str, object]:
+        """One-line summary used by the experiment reports."""
+        return {
+            "accelerator": self.accelerator,
+            "dataset": self.dataset,
+            "cycles": self.total_cycles,
+            "runtime_s": self.runtime_seconds,
+            "dram_bytes": self.dram_traffic_bytes,
+            "macs": self.total_macs,
+            "energy_j": self.energy.total_joules,
+            "cache_hit_rate": self.average_cache_hit_rate,
+        }
+
+
+@dataclass
+class ComparisonResult:
+    """A set of simulation results over the same dataset and configuration."""
+
+    dataset: str
+    results: Dict[str, SimulationResult] = field(default_factory=dict)
+    baseline: str = "gcnax"
+
+    def add(self, result: SimulationResult) -> None:
+        """Add one accelerator's result."""
+        self.results[result.accelerator] = result
+
+    def accelerators(self) -> List[str]:
+        """Names of the accelerators present."""
+        return list(self.results)
+
+    def speedups(self, baseline: Optional[str] = None) -> Dict[str, float]:
+        """Speedup of every accelerator relative to ``baseline``."""
+        base = self._baseline_result(baseline)
+        return {
+            name: base.total_cycles / result.total_cycles
+            for name, result in self.results.items()
+        }
+
+    def normalized_traffic(self, baseline: Optional[str] = None) -> Dict[str, float]:
+        """Off-chip traffic of every accelerator normalised to ``baseline``."""
+        base = self._baseline_result(baseline)
+        base_bytes = base.dram_traffic_bytes
+        return {
+            name: result.dram_traffic_bytes / base_bytes
+            for name, result in self.results.items()
+        }
+
+    def normalized_energy(self, baseline: Optional[str] = None) -> Dict[str, float]:
+        """Energy of every accelerator normalised to ``baseline``."""
+        base = self._baseline_result(baseline)
+        base_energy = base.energy.total_joules
+        return {
+            name: result.energy.total_joules / base_energy
+            for name, result in self.results.items()
+        }
+
+    def _baseline_result(self, baseline: Optional[str]) -> SimulationResult:
+        key = baseline or self.baseline
+        if key not in self.results:
+            raise SimulationError(
+                f"baseline {key!r} missing from comparison "
+                f"(have: {sorted(self.results)})"
+            )
+        return self.results[key]
+
+
+def geometric_mean(values: List[float]) -> float:
+    """Geometric mean of positive values (used for cross-dataset summaries)."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.size == 0:
+        raise SimulationError("cannot take the geometric mean of no values")
+    if np.any(array <= 0):
+        raise SimulationError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(array))))

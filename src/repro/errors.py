@@ -1,0 +1,50 @@
+"""Exception hierarchy for the SGCN reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch the whole family with a single ``except`` clause while still being
+able to distinguish configuration problems from data problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a hardware or experiment configuration is invalid.
+
+    Examples include a cache whose capacity is not a multiple of the line
+    size, a systolic array with non-positive dimensions, or an accelerator
+    name that is not registered.
+    """
+
+
+class GraphError(ReproError):
+    """Raised when a graph structure is malformed or inconsistent.
+
+    Examples include a CSR index pointer that is not monotonically
+    non-decreasing, or edge indices that fall outside the vertex range.
+    """
+
+
+class FormatError(ReproError):
+    """Raised when a sparse feature format cannot encode or decode data.
+
+    Examples include decoding a buffer whose bitmap population count does not
+    match the number of stored non-zero values.
+    """
+
+
+class SimulationError(ReproError):
+    """Raised when the performance model is asked to simulate an impossible
+    scenario, such as a layer whose feature width is zero or a tile schedule
+    that does not cover every edge exactly once.
+    """
+
+
+class DatasetError(ReproError):
+    """Raised when a named dataset is unknown or its generation parameters
+    are inconsistent (e.g. more edges requested than a simple graph allows).
+    """

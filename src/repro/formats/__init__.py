@@ -1,0 +1,37 @@
+"""Sparse feature formats: functional encode/decode plus traffic models."""
+
+from __future__ import annotations
+
+from repro.formats.base import (
+    CACHELINE_BYTES,
+    ELEMENT_BYTES,
+    EncodedFeatures,
+    FeatureFormat,
+    FeatureLayout,
+    bytes_to_lines,
+)
+from repro.formats.dense import DenseFormat
+from repro.formats.csr import CSRFeatureFormat
+from repro.formats.coo import COOFeatureFormat
+from repro.formats.bsr import BSRFeatureFormat
+from repro.formats.blocked_ellpack import BlockedEllpackFormat
+from repro.formats.beicsr import BEICSRFormat
+from repro.formats.registry import available_formats, get_format, register_format
+
+__all__ = [
+    "CACHELINE_BYTES",
+    "ELEMENT_BYTES",
+    "EncodedFeatures",
+    "FeatureFormat",
+    "FeatureLayout",
+    "bytes_to_lines",
+    "DenseFormat",
+    "CSRFeatureFormat",
+    "COOFeatureFormat",
+    "BSRFeatureFormat",
+    "BlockedEllpackFormat",
+    "BEICSRFormat",
+    "available_formats",
+    "get_format",
+    "register_format",
+]

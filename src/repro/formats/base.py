@@ -1,0 +1,224 @@
+"""Common interfaces of the feature compression formats.
+
+Each format plays two roles:
+
+1. **Functional** — :meth:`FeatureFormat.encode` / :meth:`FeatureFormat.decode`
+   convert a dense numpy feature matrix to the format's in-memory
+   representation and back.  Round-tripping must be lossless; the unit and
+   property tests rely on this to establish correctness.
+2. **Performance** — :meth:`FeatureFormat.build_layout` produces a
+   :class:`FeatureLayout`, a description of where every feature row lives in
+   (simulated) DRAM and how many cachelines a read or write of that row
+   touches.  The accelerator models replay aggregation traces against these
+   layouts through the cache simulator, which is how the memory-traffic
+   differences between Dense, CSR, COO, BSR, Blocked Ellpack, and BEICSR
+   (paper Fig. 3 and Fig. 19) arise.
+
+Addresses are expressed in units of cachelines (64 bytes).  A layout places
+its arrays at distinct base addresses so that, for formats with separate
+index arrays (CSR's row pointers and column indices), index traffic competes
+for cache space with value traffic exactly as it would in hardware.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import FormatError
+
+#: Cacheline size in bytes (also the DRAM access granularity we model).
+CACHELINE_BYTES = 64
+
+#: Bytes per feature element (32-bit fixed point, Table III).
+ELEMENT_BYTES = 4
+
+
+def bytes_to_lines(num_bytes: int, line_bytes: int = CACHELINE_BYTES) -> int:
+    """Number of cachelines needed to hold ``num_bytes`` (ceiling division)."""
+    if num_bytes < 0:
+        raise FormatError("byte count must be non-negative")
+    return (num_bytes + line_bytes - 1) // line_bytes
+
+
+def span_lines(start_byte: int, num_bytes: int, line_bytes: int = CACHELINE_BYTES) -> range:
+    """Cacheline indices touched by an access of ``num_bytes`` at ``start_byte``.
+
+    Unaligned accesses straddle one extra line; this helper is what makes the
+    misalignment penalty of packed variable-length formats appear naturally.
+    """
+    if num_bytes <= 0:
+        return range(0)
+    first = start_byte // line_bytes
+    last = (start_byte + num_bytes - 1) // line_bytes
+    return range(first, last + 1)
+
+
+@dataclass
+class EncodedFeatures:
+    """A feature matrix encoded into a specific format.
+
+    Attributes:
+        format_name: Name of the producing format.
+        shape: Original dense shape ``(rows, width)``.
+        arrays: Named numpy arrays making up the encoded representation
+            (e.g. ``{"values": ..., "bitmaps": ...}``).
+        metadata: Format-specific scalars (block sizes, slice size, ...).
+    """
+
+    format_name: str
+    shape: tuple
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def storage_bytes(self) -> int:
+        """Total bytes of all component arrays (capacity, not traffic)."""
+        return int(sum(array.nbytes for array in self.arrays.values()))
+
+
+class FeatureLayout(ABC):
+    """Memory layout of a feature matrix in a given format.
+
+    A layout knows, for every feature row, which cachelines a read touches
+    and how many bytes a (compressed) write produces.  Rows are identified by
+    their vertex id.
+    """
+
+    def __init__(self, num_rows: int, width: int, base_line: int = 0) -> None:
+        if num_rows <= 0 or width <= 0:
+            raise FormatError("layout dimensions must be positive")
+        self.num_rows = num_rows
+        self.width = width
+        self.base_line = base_line
+
+    # -- traffic ---------------------------------------------------------- #
+    @abstractmethod
+    def row_read_lines(self, row: int) -> np.ndarray:
+        """Absolute cacheline addresses touched when reading row ``row``."""
+
+    @abstractmethod
+    def row_read_bytes(self, row: int) -> int:
+        """Bytes transferred from DRAM when reading row ``row`` uncached."""
+
+    @abstractmethod
+    def row_write_bytes(self, row: int) -> int:
+        """Bytes written to DRAM when producing row ``row`` as a layer output."""
+
+    # -- capacity --------------------------------------------------------- #
+    @abstractmethod
+    def storage_bytes(self) -> int:
+        """Total bytes reserved for the matrix in this layout."""
+
+    # -- helpers ---------------------------------------------------------- #
+    def total_read_bytes(self) -> int:
+        """Bytes to read every row exactly once (no cache)."""
+        return int(sum(self.row_read_bytes(row) for row in range(self.num_rows)))
+
+    def total_write_bytes(self) -> int:
+        """Bytes to write every row exactly once."""
+        return int(sum(self.row_write_bytes(row) for row in range(self.num_rows)))
+
+    def total_lines(self) -> int:
+        """Number of cachelines the layout occupies."""
+        return bytes_to_lines(self.storage_bytes())
+
+    def average_row_read_bytes(self) -> float:
+        """Mean bytes per row read."""
+        return self.total_read_bytes() / self.num_rows
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.num_rows:
+            raise FormatError(f"row {row} out of range (0..{self.num_rows - 1})")
+
+
+class FeatureFormat(ABC):
+    """A feature compression format (functional + performance model)."""
+
+    #: Short name used by the registry and in result tables.
+    name: str = "abstract"
+
+    #: Whether layer outputs can be written in parallel without serialising
+    #: on a shared append pointer (true for fixed-stride / in-place formats).
+    supports_parallel_write: bool = True
+
+    #: Whether reads are aligned to cacheline boundaries (affects the DRAM
+    #: row-buffer / bandwidth efficiency model).
+    aligned: bool = True
+
+    #: Whether the format actually compresses (skips zero elements).
+    compressed: bool = True
+
+    # -- functional ------------------------------------------------------- #
+    @abstractmethod
+    def encode(self, matrix: np.ndarray) -> EncodedFeatures:
+        """Encode a dense ``(rows, width)`` matrix into this format."""
+
+    @abstractmethod
+    def decode(self, encoded: EncodedFeatures) -> np.ndarray:
+        """Decode back to the dense matrix; must be exactly lossless."""
+
+    # -- performance ------------------------------------------------------ #
+    @abstractmethod
+    def build_layout(
+        self,
+        row_nnz: np.ndarray,
+        width: int,
+        base_line: int = 0,
+        slice_nnz: Optional[np.ndarray] = None,
+    ) -> FeatureLayout:
+        """Build the memory layout for a matrix described by per-row nnz.
+
+        Args:
+            row_nnz: Non-zero count of every feature row.
+            width: Feature width (columns).
+            base_line: First cacheline address available to the layout.
+            slice_nnz: Optional ``(rows, slices)`` per-slice non-zero counts
+                for formats that store per-slice metadata (sliced BEICSR);
+                other formats ignore it.
+        """
+
+    # -- convenience ------------------------------------------------------ #
+    def layout_for_matrix(self, matrix: np.ndarray, base_line: int = 0) -> FeatureLayout:
+        """Build a layout directly from a dense matrix."""
+        matrix = np.asarray(matrix)
+        if matrix.ndim != 2:
+            raise FormatError("feature matrix must be two-dimensional")
+        row_nnz = np.count_nonzero(matrix, axis=1).astype(np.int64)
+        slice_nnz = None
+        slice_size = getattr(self, "slice_size", None)
+        if slice_size:
+            from repro.gcn.sparsity import per_slice_nonzeros
+
+            slice_nnz = per_slice_nonzeros(matrix, int(slice_size))
+        return self.build_layout(row_nnz, matrix.shape[1], base_line, slice_nnz)
+
+    def roundtrip(self, matrix: np.ndarray) -> np.ndarray:
+        """Encode then decode ``matrix`` (testing convenience)."""
+        return self.decode(self.encode(matrix))
+
+    def compression_ratio(self, matrix: np.ndarray) -> float:
+        """Dense bytes divided by encoded bytes (> 1 means smaller)."""
+        matrix = np.asarray(matrix)
+        dense_bytes = matrix.shape[0] * matrix.shape[1] * ELEMENT_BYTES
+        encoded_bytes = self.encode(matrix).storage_bytes()
+        if encoded_bytes == 0:
+            return float("inf")
+        return dense_bytes / encoded_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def validate_row_nnz(row_nnz: np.ndarray, width: int) -> np.ndarray:
+    """Validate and normalise a per-row non-zero-count array."""
+    row_nnz = np.asarray(row_nnz, dtype=np.int64)
+    if row_nnz.ndim != 1 or row_nnz.size == 0:
+        raise FormatError("row_nnz must be a non-empty 1-D array")
+    if width <= 0:
+        raise FormatError("width must be positive")
+    if row_nnz.min() < 0 or row_nnz.max() > width:
+        raise FormatError("row_nnz values must lie in [0, width]")
+    return row_nnz

@@ -1,0 +1,205 @@
+"""Block Compressed Sparse Row (BSR) storage of the feature matrix.
+
+BSR partitions the matrix into small dense blocks (default 2x2) and stores
+only the blocks that contain at least one non-zero, each with a block-column
+index.  It compresses well only when many blocks are *entirely* empty — at
+the ~50% element-level sparsity of GCN intermediate features the probability
+of an empty 2x2 block is only ~6%, so BSR mostly adds index overhead and
+padding (paper Section II-B: blocked formats "are beneficial only when there
+are many empty blocks ... GCN intermediate activations seldom exhibit such
+patterns").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.formats.base import (
+    CACHELINE_BYTES,
+    ELEMENT_BYTES,
+    EncodedFeatures,
+    FeatureFormat,
+    FeatureLayout,
+    bytes_to_lines,
+    validate_row_nnz,
+)
+
+#: Bytes per block-column index.
+INDEX_BYTES = 4
+
+
+def _expected_nonempty_blocks(row_nnz: int, width: int, block_cols: int, block_rows: int) -> int:
+    """Expected number of non-empty blocks in one block-row.
+
+    Assumes non-zeros are spread uniformly over the ``block_rows`` rows x
+    ``width`` columns of the block-row (the paper's own assumption when it
+    argues blocked formats do not help).
+    """
+    num_blocks = (width + block_cols - 1) // block_cols
+    cells_per_block = block_cols * block_rows
+    total_cells = num_blocks * cells_per_block
+    density = min(1.0, (row_nnz * block_rows) / max(total_cells, 1))
+    prob_empty = (1.0 - density) ** cells_per_block
+    return int(round(num_blocks * (1.0 - prob_empty)))
+
+
+class BSRLayout(FeatureLayout):
+    """BSR layout: block row pointers, block column indices, dense blocks."""
+
+    def __init__(
+        self,
+        row_nnz: np.ndarray,
+        width: int,
+        block_rows: int,
+        block_cols: int,
+        base_line: int = 0,
+    ) -> None:
+        super().__init__(int(row_nnz.size), width, base_line)
+        self.block_rows = block_rows
+        self.block_cols = block_cols
+        self.row_nnz = row_nnz
+        num_block_rows = (self.num_rows + block_rows - 1) // block_rows
+
+        # Expected non-empty blocks per block-row, derived from the nnz of
+        # the rows it contains.
+        self.blocks_per_blockrow = np.zeros(num_block_rows, dtype=np.int64)
+        for block_row in range(num_block_rows):
+            start = block_row * block_rows
+            stop = min(self.num_rows, start + block_rows)
+            nnz = int(row_nnz[start:stop].sum())
+            self.blocks_per_blockrow[block_row] = _expected_nonempty_blocks(
+                max(1, nnz // max(1, (stop - start))), width, block_cols, block_rows
+            )
+        self.block_offsets = np.zeros(num_block_rows + 1, dtype=np.int64)
+        np.cumsum(self.blocks_per_blockrow, out=self.block_offsets[1:])
+        total_blocks = int(self.block_offsets[-1])
+        block_bytes = block_rows * block_cols * ELEMENT_BYTES
+
+        self.ptr_base = 0
+        ptr_bytes = (num_block_rows + 1) * INDEX_BYTES
+        self.idx_base = bytes_to_lines(ptr_bytes) * CACHELINE_BYTES
+        idx_bytes = total_blocks * INDEX_BYTES
+        self.data_base = self.idx_base + bytes_to_lines(idx_bytes) * CACHELINE_BYTES
+        self._storage = self.data_base + total_blocks * block_bytes
+        self.block_bytes = block_bytes
+
+    def _span(self, start_byte: int, num_bytes: int) -> np.ndarray:
+        if num_bytes <= 0:
+            return np.zeros(0, dtype=np.int64)
+        first = start_byte // CACHELINE_BYTES
+        last = (start_byte + num_bytes - 1) // CACHELINE_BYTES
+        return np.arange(first, last + 1, dtype=np.int64) + self.base_line
+
+    def row_read_lines(self, row: int) -> np.ndarray:
+        self._check_row(row)
+        block_row = row // self.block_rows
+        num_blocks = int(self.blocks_per_blockrow[block_row])
+        offset = int(self.block_offsets[block_row])
+        ptr_lines = self._span(self.ptr_base + block_row * INDEX_BYTES, 2 * INDEX_BYTES)
+        idx_lines = self._span(self.idx_base + offset * INDEX_BYTES, num_blocks * INDEX_BYTES)
+        # Reading one feature row requires touching every non-empty block of
+        # its block-row (the row's slice of each block is interleaved with the
+        # other rows of the block, so whole blocks are fetched).
+        data_lines = self._span(
+            self.data_base + offset * self.block_bytes, num_blocks * self.block_bytes
+        )
+        return np.concatenate([ptr_lines, idx_lines, data_lines])
+
+    def row_read_bytes(self, row: int) -> int:
+        self._check_row(row)
+        return int(self.row_read_lines(row).size) * CACHELINE_BYTES
+
+    def row_write_bytes(self, row: int) -> int:
+        self._check_row(row)
+        return self.row_read_bytes(row)
+
+    def storage_bytes(self) -> int:
+        return int(self._storage)
+
+
+class BSRFeatureFormat(FeatureFormat):
+    """Block CSR feature compression (default 2x2 blocks)."""
+
+    name = "bsr"
+    supports_parallel_write = False
+    aligned = False
+    compressed = True
+
+    def __init__(self, block_rows: int = 2, block_cols: int = 2) -> None:
+        if block_rows <= 0 or block_cols <= 0:
+            raise FormatError("block dimensions must be positive")
+        self.block_rows = block_rows
+        self.block_cols = block_cols
+
+    def encode(self, matrix: np.ndarray) -> EncodedFeatures:
+        matrix = np.asarray(matrix, dtype=np.float32)
+        if matrix.ndim != 2:
+            raise FormatError("feature matrix must be two-dimensional")
+        rows, width = matrix.shape
+        br, bc = self.block_rows, self.block_cols
+        padded_rows = ((rows + br - 1) // br) * br
+        padded_cols = ((width + bc - 1) // bc) * bc
+        padded = np.zeros((padded_rows, padded_cols), dtype=np.float32)
+        padded[:rows, :width] = matrix
+
+        block_rows_count = padded_rows // br
+        block_cols_count = padded_cols // bc
+        indptr = np.zeros(block_rows_count + 1, dtype=np.int64)
+        block_columns = []
+        blocks = []
+        for block_row in range(block_rows_count):
+            row_slice = padded[block_row * br : (block_row + 1) * br]
+            count = 0
+            for block_col in range(block_cols_count):
+                block = row_slice[:, block_col * bc : (block_col + 1) * bc]
+                if np.any(block):
+                    block_columns.append(block_col)
+                    blocks.append(block.copy())
+                    count += 1
+            indptr[block_row + 1] = indptr[block_row] + count
+        return EncodedFeatures(
+            format_name=self.name,
+            shape=(rows, width),
+            arrays={
+                "indptr": indptr,
+                "block_columns": np.asarray(block_columns, dtype=np.int32),
+                "blocks": (
+                    np.stack(blocks) if blocks else np.zeros((0, br, bc), dtype=np.float32)
+                ),
+            },
+            metadata={"block_rows": br, "block_cols": bc},
+        )
+
+    def decode(self, encoded: EncodedFeatures) -> np.ndarray:
+        if encoded.format_name != self.name:
+            raise FormatError(f"cannot decode {encoded.format_name!r} as bsr")
+        rows, width = encoded.shape
+        br = int(encoded.metadata["block_rows"])
+        bc = int(encoded.metadata["block_cols"])
+        padded_rows = ((rows + br - 1) // br) * br
+        padded_cols = ((width + bc - 1) // bc) * bc
+        padded = np.zeros((padded_rows, padded_cols), dtype=np.float32)
+        indptr = encoded.arrays["indptr"]
+        block_columns = encoded.arrays["block_columns"]
+        blocks = encoded.arrays["blocks"]
+        for block_row in range(indptr.size - 1):
+            for position in range(int(indptr[block_row]), int(indptr[block_row + 1])):
+                block_col = int(block_columns[position])
+                padded[
+                    block_row * br : (block_row + 1) * br,
+                    block_col * bc : (block_col + 1) * bc,
+                ] = blocks[position]
+        return padded[:rows, :width]
+
+    def build_layout(
+        self,
+        row_nnz: np.ndarray,
+        width: int,
+        base_line: int = 0,
+        slice_nnz: Optional[np.ndarray] = None,
+    ) -> BSRLayout:
+        row_nnz = validate_row_nnz(row_nnz, width)
+        return BSRLayout(row_nnz, width, self.block_rows, self.block_cols, base_line)

@@ -1,0 +1,66 @@
+"""Registry of feature formats by name.
+
+The experiment harness refers to formats by short names (as the paper's
+Fig. 3 legend does); this module maps those names to configured format
+instances and lets users register their own formats for comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import FormatError
+from repro.formats.base import FeatureFormat
+from repro.formats.beicsr import BEICSRFormat
+from repro.formats.blocked_ellpack import BlockedEllpackFormat
+from repro.formats.bsr import BSRFeatureFormat
+from repro.formats.coo import COOFeatureFormat
+from repro.formats.csr import CSRFeatureFormat
+from repro.formats.dense import DenseFormat
+
+_FACTORIES: Dict[str, Callable[[], FeatureFormat]] = {
+    "dense": DenseFormat,
+    "csr": CSRFeatureFormat,
+    "coo": COOFeatureFormat,
+    "bsr": BSRFeatureFormat,
+    "blocked_ellpack": BlockedEllpackFormat,
+    "beicsr": lambda: BEICSRFormat(slice_size=96),
+    "beicsr_nonsliced": lambda: BEICSRFormat(slice_size=None),
+    "beicsr_packed": lambda: BEICSRFormat(slice_size=96, in_place=False),
+}
+
+
+def available_formats() -> List[str]:
+    """Names of all registered feature formats."""
+    return sorted(_FACTORIES)
+
+
+def register_format(name: str, factory: Callable[[], FeatureFormat]) -> None:
+    """Register a custom format factory under ``name``.
+
+    Raises:
+        FormatError: If ``name`` is already registered.
+    """
+    key = name.lower()
+    if key in _FACTORIES:
+        raise FormatError(f"format {name!r} is already registered")
+    _FACTORIES[key] = factory
+
+
+def get_format(name: str, slice_size: Optional[int] = None) -> FeatureFormat:
+    """Instantiate a feature format by name.
+
+    Args:
+        name: Registered format name (case-insensitive).
+        slice_size: Override the BEICSR unit slice size (ignored by other
+            formats).
+    """
+    key = name.lower()
+    if key not in _FACTORIES:
+        raise FormatError(
+            f"unknown format {name!r}; available: {', '.join(available_formats())}"
+        )
+    instance = _FACTORIES[key]()
+    if slice_size is not None and isinstance(instance, BEICSRFormat) and instance.slice_size:
+        instance = BEICSRFormat(slice_size=slice_size, in_place=instance.in_place)
+    return instance

@@ -1,0 +1,320 @@
+"""Compressed sparse row (CSR) graph structure.
+
+The GCN accelerators modelled by this library all consume the graph topology
+in CSR form (the paper, Section III-B, assumes the adjacency matrix is stored
+as CSR to exploit its near-100% sparsity).  :class:`CSRGraph` is therefore the
+central graph structure of the library: it stores the topology, optional edge
+weights (the normalised adjacency values), and provides the accessors the
+simulators and the numpy GCN layers need.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+
+
+class CSRGraph:
+    """A directed graph stored in compressed sparse row form.
+
+    Attributes:
+        num_vertices: Number of vertices.
+        indptr: ``int64`` array of length ``num_vertices + 1``; row ``v``'s
+            neighbours are ``indices[indptr[v]:indptr[v + 1]]``.
+        indices: ``int32`` array of destination vertex ids, one per edge.
+        weights: ``float32`` array of edge weights, one per edge.  For a GCN
+            this holds the normalised adjacency values.
+        name: Optional human-readable name (dataset name).
+    """
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+        name: str = "graph",
+    ) -> None:
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        if indptr.ndim != 1 or indices.ndim != 1:
+            raise GraphError("indptr and indices must be one-dimensional arrays")
+        if indptr.size == 0:
+            raise GraphError("indptr must contain at least one entry")
+        if indptr[0] != 0:
+            raise GraphError("indptr must start at zero")
+        if np.any(np.diff(indptr) < 0):
+            raise GraphError("indptr must be monotonically non-decreasing")
+        if indptr[-1] != indices.size:
+            raise GraphError(
+                f"indptr[-1] ({int(indptr[-1])}) must equal the number of edges "
+                f"({indices.size})"
+            )
+        num_vertices = indptr.size - 1
+        if indices.size and (indices.min() < 0 or indices.max() >= num_vertices):
+            raise GraphError("edge destinations must lie in [0, num_vertices)")
+
+        if weights is None:
+            weights = np.ones(indices.size, dtype=np.float32)
+        else:
+            weights = np.asarray(weights, dtype=np.float32)
+            if weights.shape != indices.shape:
+                raise GraphError("weights must have one entry per edge")
+
+        self.indptr = indptr
+        self.indices = indices.astype(np.int64)
+        self.weights = weights
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices in the graph."""
+        return self.indptr.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of (directed) edges in the graph."""
+        return self.indices.size
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every vertex."""
+        return np.diff(self.indptr)
+
+    @property
+    def average_degree(self) -> float:
+        """Average out-degree; zero for an empty graph."""
+        if self.num_vertices == 0:
+            return 0.0
+        return self.num_edges / self.num_vertices
+
+    def neighbors(self, vertex: int) -> np.ndarray:
+        """Return the destination ids of ``vertex``'s outgoing edges."""
+        self._check_vertex(vertex)
+        return self.indices[self.indptr[vertex] : self.indptr[vertex + 1]]
+
+    def neighbor_weights(self, vertex: int) -> np.ndarray:
+        """Return the edge weights of ``vertex``'s outgoing edges."""
+        self._check_vertex(vertex)
+        return self.weights[self.indptr[vertex] : self.indptr[vertex + 1]]
+
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate over ``(source, destination, weight)`` triples."""
+        for src in range(self.num_vertices):
+            start, stop = self.indptr[src], self.indptr[src + 1]
+            for offset in range(start, stop):
+                yield src, int(self.indices[offset]), float(self.weights[offset])
+
+    def _check_vertex(self, vertex: int) -> None:
+        if not 0 <= vertex < self.num_vertices:
+            raise GraphError(
+                f"vertex {vertex} out of range for graph with {self.num_vertices} vertices"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Conversions
+    # ------------------------------------------------------------------ #
+    def to_dense(self) -> np.ndarray:
+        """Return the dense ``num_vertices x num_vertices`` adjacency matrix."""
+        dense = np.zeros((self.num_vertices, self.num_vertices), dtype=np.float32)
+        for src in range(self.num_vertices):
+            start, stop = self.indptr[src], self.indptr[src + 1]
+            dense[src, self.indices[start:stop]] = self.weights[start:stop]
+        return dense
+
+    @classmethod
+    def from_dense(cls, adjacency: np.ndarray, name: str = "graph") -> "CSRGraph":
+        """Build a graph from a dense adjacency matrix (non-zeros become edges)."""
+        adjacency = np.asarray(adjacency)
+        if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+            raise GraphError("adjacency must be a square matrix")
+        num_vertices = adjacency.shape[0]
+        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        indices = []
+        weights = []
+        for src in range(num_vertices):
+            cols = np.nonzero(adjacency[src])[0]
+            indices.append(cols)
+            weights.append(adjacency[src, cols])
+            indptr[src + 1] = indptr[src] + cols.size
+        indices_arr = (
+            np.concatenate(indices) if indices else np.zeros(0, dtype=np.int64)
+        )
+        weights_arr = (
+            np.concatenate(weights).astype(np.float32)
+            if weights
+            else np.zeros(0, dtype=np.float32)
+        )
+        return cls(indptr, indices_arr, weights_arr, name=name)
+
+    @classmethod
+    def from_edge_list(
+        cls,
+        num_vertices: int,
+        edges: Iterable[Tuple[int, int]],
+        weights: Optional[Sequence[float]] = None,
+        name: str = "graph",
+        deduplicate: bool = True,
+    ) -> "CSRGraph":
+        """Build a graph from an edge list.
+
+        Args:
+            num_vertices: Number of vertices.
+            edges: Iterable of ``(source, destination)`` pairs.
+            weights: Optional per-edge weights aligned with ``edges``.
+            name: Graph name.
+            deduplicate: Remove duplicate edges (keeping the first weight).
+        """
+        edge_array = np.asarray(list(edges), dtype=np.int64)
+        if edge_array.size == 0:
+            indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+            return cls(indptr, np.zeros(0, dtype=np.int64), name=name)
+        if edge_array.ndim != 2 or edge_array.shape[1] != 2:
+            raise GraphError("edges must be (source, destination) pairs")
+        if edge_array.min() < 0 or edge_array.max() >= num_vertices:
+            raise GraphError("edge endpoints must lie in [0, num_vertices)")
+
+        if weights is None:
+            weight_array = np.ones(edge_array.shape[0], dtype=np.float32)
+        else:
+            weight_array = np.asarray(weights, dtype=np.float32)
+            if weight_array.shape[0] != edge_array.shape[0]:
+                raise GraphError("weights must align with edges")
+
+        if deduplicate:
+            keys = edge_array[:, 0] * num_vertices + edge_array[:, 1]
+            _, unique_idx = np.unique(keys, return_index=True)
+            unique_idx = np.sort(unique_idx)
+            edge_array = edge_array[unique_idx]
+            weight_array = weight_array[unique_idx]
+
+        order = np.lexsort((edge_array[:, 1], edge_array[:, 0]))
+        edge_array = edge_array[order]
+        weight_array = weight_array[order]
+
+        counts = np.bincount(edge_array[:, 0], minlength=num_vertices)
+        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, edge_array[:, 1], weight_array, name=name)
+
+    # ------------------------------------------------------------------ #
+    # Transformations
+    # ------------------------------------------------------------------ #
+    def with_weights(self, weights: np.ndarray) -> "CSRGraph":
+        """Return a copy of the graph with new edge weights."""
+        return CSRGraph(self.indptr.copy(), self.indices.copy(), weights, name=self.name)
+
+    def reorder(self, permutation: np.ndarray) -> "CSRGraph":
+        """Relabel vertices by ``permutation``.
+
+        ``permutation[old_id] == new_id``.  Both the row order and the
+        destination ids are remapped; within each row the destinations stay
+        sorted.  Used by the I-GCN baseline (islandization) and by
+        locality-improving preprocessing.
+        """
+        permutation = np.asarray(permutation, dtype=np.int64)
+        if permutation.shape != (self.num_vertices,):
+            raise GraphError("permutation must have one entry per vertex")
+        if np.sort(permutation).tolist() != list(range(self.num_vertices)):
+            raise GraphError("permutation must be a bijection over the vertex ids")
+
+        inverse = np.empty_like(permutation)
+        inverse[permutation] = np.arange(self.num_vertices, dtype=np.int64)
+
+        new_indptr = np.zeros(self.num_vertices + 1, dtype=np.int64)
+        new_indices = np.empty_like(self.indices)
+        new_weights = np.empty_like(self.weights)
+        offset = 0
+        for new_src in range(self.num_vertices):
+            old_src = int(inverse[new_src])
+            start, stop = self.indptr[old_src], self.indptr[old_src + 1]
+            dests = permutation[self.indices[start:stop]]
+            order = np.argsort(dests, kind="stable")
+            count = stop - start
+            new_indices[offset : offset + count] = dests[order]
+            new_weights[offset : offset + count] = self.weights[start:stop][order]
+            offset += count
+            new_indptr[new_src + 1] = offset
+        return CSRGraph(new_indptr, new_indices, new_weights, name=self.name)
+
+    def transpose(self) -> "CSRGraph":
+        """Return the transposed graph (edges reversed)."""
+        sources = np.repeat(np.arange(self.num_vertices, dtype=np.int64), self.degrees)
+        pairs = np.stack([self.indices, sources], axis=1)
+        return CSRGraph.from_edge_list(
+            self.num_vertices,
+            pairs,
+            weights=self.weights,
+            name=self.name,
+            deduplicate=False,
+        )
+
+    def symmetrized(self) -> "CSRGraph":
+        """Return the graph with every edge mirrored (undirected view)."""
+        sources = np.repeat(np.arange(self.num_vertices, dtype=np.int64), self.degrees)
+        forward = np.stack([sources, self.indices], axis=1)
+        backward = np.stack([self.indices, sources], axis=1)
+        pairs = np.concatenate([forward, backward], axis=0)
+        weights = np.concatenate([self.weights, self.weights])
+        return CSRGraph.from_edge_list(
+            self.num_vertices, pairs, weights=weights, name=self.name, deduplicate=True
+        )
+
+    def subgraph(self, vertices: Sequence[int]) -> "CSRGraph":
+        """Return the induced subgraph on ``vertices`` (relabelled 0..k-1)."""
+        vertex_ids = np.asarray(sorted(set(int(v) for v in vertices)), dtype=np.int64)
+        if vertex_ids.size and (
+            vertex_ids.min() < 0 or vertex_ids.max() >= self.num_vertices
+        ):
+            raise GraphError("subgraph vertices out of range")
+        mapping = -np.ones(self.num_vertices, dtype=np.int64)
+        mapping[vertex_ids] = np.arange(vertex_ids.size, dtype=np.int64)
+
+        edges = []
+        weights = []
+        for new_src, old_src in enumerate(vertex_ids):
+            start, stop = self.indptr[old_src], self.indptr[old_src + 1]
+            dests = self.indices[start:stop]
+            wts = self.weights[start:stop]
+            keep = mapping[dests] >= 0
+            for dest, weight in zip(mapping[dests[keep]], wts[keep]):
+                edges.append((new_src, int(dest)))
+                weights.append(float(weight))
+        return CSRGraph.from_edge_list(
+            vertex_ids.size, edges, weights=weights, name=f"{self.name}-sub"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Size accounting (Table II "Topology" column)
+    # ------------------------------------------------------------------ #
+    def topology_bytes(self, index_bytes: int = 4, weight_bytes: int = 4) -> int:
+        """Bytes required to store the topology in CSR form.
+
+        ``(V + 1)`` row pointers plus one column index and one weight per
+        edge.  This matches the "Topology" size column of the paper's
+        Table II (weights included because the normalised adjacency is what
+        the aggregation engine streams).
+        """
+        return (self.num_vertices + 1) * index_bytes + self.num_edges * (
+            index_bytes + weight_bytes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"CSRGraph(name={self.name!r}, vertices={self.num_vertices}, "
+            f"edges={self.num_edges})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return (
+            np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and np.allclose(self.weights, other.weights)
+        )

@@ -1,0 +1,96 @@
+"""Adjacency normalisation used by graph convolutional networks.
+
+A GCN layer computes ``X' = sigma(A_hat @ X @ W)`` where ``A_hat`` is the
+symmetrically normalised adjacency matrix with self loops:
+
+    A_hat = D^{-1/2} (A + I) D^{-1/2}
+
+GraphSAGE-style mean aggregation instead uses the row-normalised adjacency
+``D^{-1} A``.  Both are provided here as transformations over
+:class:`~repro.graphs.graph.CSRGraph`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graphs.graph import CSRGraph
+
+
+def add_self_loops(graph: CSRGraph, weight: float = 1.0) -> CSRGraph:
+    """Return a copy of ``graph`` with a self loop added to every vertex.
+
+    Existing self loops are preserved (not duplicated); their weight is left
+    unchanged.
+    """
+    sources = np.repeat(np.arange(graph.num_vertices, dtype=np.int64), graph.degrees)
+    pairs = np.stack([sources, graph.indices], axis=1)
+    weights = graph.weights.astype(np.float32)
+
+    has_loop = np.zeros(graph.num_vertices, dtype=bool)
+    loop_mask = pairs[:, 0] == pairs[:, 1]
+    has_loop[pairs[loop_mask, 0]] = True
+    missing = np.nonzero(~has_loop)[0]
+    if missing.size:
+        loop_pairs = np.stack([missing, missing], axis=1)
+        pairs = np.concatenate([pairs, loop_pairs], axis=0)
+        weights = np.concatenate(
+            [weights, np.full(missing.size, weight, dtype=np.float32)]
+        )
+    return CSRGraph.from_edge_list(
+        graph.num_vertices, pairs, weights=weights, name=graph.name, deduplicate=True
+    )
+
+
+def gcn_normalize(graph: CSRGraph, add_loops: bool = True) -> CSRGraph:
+    """Return the symmetrically normalised graph ``D^{-1/2} (A + I) D^{-1/2}``.
+
+    Args:
+        graph: Input graph; edge weights are treated as adjacency values.
+        add_loops: Add self loops before normalising (the standard GCN
+            formulation).  Set to ``False`` to normalise the raw adjacency.
+    """
+    work = add_self_loops(graph) if add_loops else graph
+    degrees = np.zeros(work.num_vertices, dtype=np.float64)
+    sources = np.repeat(np.arange(work.num_vertices, dtype=np.int64), work.degrees)
+    np.add.at(degrees, sources, work.weights)
+    np.add.at(degrees, work.indices, 0.0)  # ensure shape; in-degree handled below
+
+    in_degrees = np.zeros(work.num_vertices, dtype=np.float64)
+    np.add.at(in_degrees, work.indices, work.weights)
+
+    # Symmetric normalisation uses the degree of both endpoints; for a
+    # symmetric adjacency in-degree equals out-degree, and for a directed one
+    # this mirrors the common implementation that uses sqrt(d_out) * sqrt(d_in).
+    out_scale = np.where(degrees > 0, 1.0 / np.sqrt(degrees), 0.0)
+    in_scale = np.where(in_degrees > 0, 1.0 / np.sqrt(in_degrees), 0.0)
+    new_weights = (
+        work.weights * out_scale[sources] * in_scale[work.indices]
+    ).astype(np.float32)
+    return work.with_weights(new_weights)
+
+
+def row_normalize(graph: CSRGraph, add_loops: bool = False) -> CSRGraph:
+    """Return the row-normalised graph ``D^{-1} A`` (mean aggregation).
+
+    Used by the GraphSAGE variant (paper Fig. 16b).
+    """
+    work = add_self_loops(graph) if add_loops else graph
+    degrees = np.zeros(work.num_vertices, dtype=np.float64)
+    sources = np.repeat(np.arange(work.num_vertices, dtype=np.int64), work.degrees)
+    np.add.at(degrees, sources, work.weights)
+    scale = np.where(degrees > 0, 1.0 / degrees, 0.0)
+    new_weights = (work.weights * scale[sources]).astype(np.float32)
+    return work.with_weights(new_weights)
+
+
+def uniform_weights(graph: CSRGraph, value: float = 1.0) -> CSRGraph:
+    """Return a copy of the graph with every edge weight set to ``value``.
+
+    GINConv aggregation (paper Fig. 16a) does not use edge weights; this is
+    the topology it streams.
+    """
+    if not np.isfinite(value):
+        raise GraphError("edge weight must be finite")
+    return graph.with_weights(np.full(graph.num_edges, value, dtype=np.float32))

@@ -1,0 +1,22 @@
+"""Memory hierarchy models: on-chip cache, HBM DRAM, and energy tables."""
+
+from __future__ import annotations
+
+from repro.memory.cache import CacheSimulator, CacheStats
+from repro.memory.dram import DRAMModel, TrafficPattern
+from repro.memory.hierarchy import MemoryHierarchy, AccessStats
+from repro.memory.rowcache import RowCache, RowCacheStats
+from repro.memory.energy import EnergyTable, EnergyBreakdown
+
+__all__ = [
+    "CacheSimulator",
+    "CacheStats",
+    "RowCache",
+    "RowCacheStats",
+    "DRAMModel",
+    "TrafficPattern",
+    "MemoryHierarchy",
+    "AccessStats",
+    "EnergyTable",
+    "EnergyBreakdown",
+]

@@ -1,0 +1,205 @@
+"""Set-associative LRU cache simulator.
+
+Models the accelerator's global on-chip cache (paper Table III: 512 KB,
+16-way, LRU).  The simulator operates at cacheline granularity: the
+accelerator models feed it the line addresses produced by the feature-format
+layouts, and it reports hits, misses, and writebacks.  Misses and writebacks
+are what generate off-chip DRAM traffic.
+
+The implementation favours clarity and predictable O(ways) behaviour per
+access, which is fast enough for the scaled-down graphs the experiments use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set
+
+import numpy as np
+
+from repro.core.config import CacheConfig
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class CacheStats:
+    """Counters accumulated by a :class:`CacheSimulator`.
+
+    Attributes:
+        accesses: Total line accesses.
+        hits: Accesses that found the line resident.
+        misses: Accesses that had to fetch the line from DRAM.
+        writebacks: Dirty lines evicted (written back to DRAM).
+        line_bytes: Cacheline size, for converting counts to bytes.
+    """
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    line_bytes: int = 64
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit (0 when there were no accesses)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    @property
+    def miss_bytes(self) -> int:
+        """Bytes fetched from DRAM due to misses."""
+        return self.misses * self.line_bytes
+
+    @property
+    def writeback_bytes(self) -> int:
+        """Bytes written back to DRAM due to dirty evictions."""
+        return self.writebacks * self.line_bytes
+
+    @property
+    def dram_bytes(self) -> int:
+        """Total DRAM traffic (fills plus writebacks)."""
+        return self.miss_bytes + self.writeback_bytes
+
+    def merged(self, other: "CacheStats") -> "CacheStats":
+        """Return the element-wise sum of two stats objects."""
+        return CacheStats(
+            accesses=self.accesses + other.accesses,
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            writebacks=self.writebacks + other.writebacks,
+            line_bytes=self.line_bytes,
+        )
+
+
+class CacheSimulator:
+    """A set-associative, LRU, write-back/write-allocate cache.
+
+    Args:
+        config: Cache geometry and policy.
+        pinned_lines: Optional set of line addresses that are never evicted
+            once installed.  Used to model EnGN's degree-aware vertex cache,
+            which statically pins the features of high-degree vertices.
+    """
+
+    def __init__(self, config: CacheConfig, pinned_lines: Optional[Set[int]] = None) -> None:
+        if config.replacement != "lru":
+            raise ConfigurationError("only LRU replacement is implemented")
+        self.config = config
+        self.num_sets = config.num_sets
+        self.ways = config.ways
+        # Per-set MRU-ordered list of tags and per-set dirty tag sets.
+        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        self._dirty: List[Set[int]] = [set() for _ in range(self.num_sets)]
+        self._pinned = pinned_lines or set()
+        self.stats = CacheStats(line_bytes=config.line_bytes)
+
+    # ------------------------------------------------------------------ #
+    def reset_stats(self) -> None:
+        """Clear counters without flushing cache contents."""
+        self.stats = CacheStats(line_bytes=self.config.line_bytes)
+
+    def flush(self) -> int:
+        """Write back all dirty lines and empty the cache.
+
+        Returns:
+            The number of writebacks performed.
+        """
+        writebacks = sum(len(dirty) for dirty in self._dirty)
+        self.stats.writebacks += writebacks
+        self._sets = [[] for _ in range(self.num_sets)]
+        self._dirty = [set() for _ in range(self.num_sets)]
+        return writebacks
+
+    # ------------------------------------------------------------------ #
+    def access(self, line: int, write: bool = False) -> bool:
+        """Access one cacheline.
+
+        Args:
+            line: Line address (already divided by the line size).
+            write: Mark the line dirty (write-allocate policy).
+
+        Returns:
+            ``True`` on a hit, ``False`` on a miss.
+        """
+        set_index = line % self.num_sets
+        tag = line // self.num_sets
+        entries = self._sets[set_index]
+        dirty = self._dirty[set_index]
+        self.stats.accesses += 1
+
+        if tag in entries:
+            self.stats.hits += 1
+            entries.remove(tag)
+            entries.insert(0, tag)
+            if write:
+                dirty.add(tag)
+            return True
+
+        self.stats.misses += 1
+        entries.insert(0, tag)
+        if write:
+            dirty.add(tag)
+        if len(entries) > self.ways:
+            victim = self._select_victim(set_index)
+            entries.remove(victim)
+            if victim in dirty:
+                dirty.discard(victim)
+                self.stats.writebacks += 1
+        return False
+
+    def _select_victim(self, set_index: int) -> int:
+        """Choose the eviction victim: LRU among non-pinned lines."""
+        entries = self._sets[set_index]
+        for tag in reversed(entries):
+            line = tag * self.num_sets + set_index
+            if line not in self._pinned:
+                return tag
+        # Every resident line is pinned; evict the true LRU anyway to make
+        # forward progress (the pinned working set exceeded the way count).
+        return entries[-1]
+
+    def access_many(self, lines: Iterable[int], write: bool = False) -> int:
+        """Access a sequence of lines; returns the number of misses."""
+        misses = 0
+        for line in lines:
+            if not self.access(int(line), write=write):
+                misses += 1
+        return misses
+
+    # ------------------------------------------------------------------ #
+    def contains(self, line: int) -> bool:
+        """Whether ``line`` is currently resident (does not update LRU/stats)."""
+        set_index = line % self.num_sets
+        tag = line // self.num_sets
+        return tag in self._sets[set_index]
+
+    def occupancy(self) -> float:
+        """Fraction of cache capacity currently holding valid lines."""
+        used = sum(len(entries) for entries in self._sets)
+        return used / (self.num_sets * self.ways)
+
+    def pin_lines(self, lines: Iterable[int]) -> None:
+        """Add lines to the pinned (never-evicted) set and pre-install them."""
+        for line in lines:
+            line = int(line)
+            self._pinned.add(line)
+            set_index = line % self.num_sets
+            tag = line // self.num_sets
+            if tag not in self._sets[set_index]:
+                self._sets[set_index].insert(0, tag)
+                if len(self._sets[set_index]) > self.ways:
+                    victim = self._select_victim(set_index)
+                    self._sets[set_index].remove(victim)
+                    if victim in self._dirty[set_index]:
+                        self._dirty[set_index].discard(victim)
+                        self.stats.writebacks += 1
+
+    def snapshot(self) -> Dict[str, int]:
+        """Return the counters as a plain dictionary."""
+        return {
+            "accesses": self.stats.accesses,
+            "hits": self.stats.hits,
+            "misses": self.stats.misses,
+            "writebacks": self.stats.writebacks,
+        }

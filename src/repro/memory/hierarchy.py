@@ -1,0 +1,182 @@
+"""Cache + DRAM hierarchy driver.
+
+The accelerator models produce *row-access traces*: ordered sequences of
+"read feature row ``v``" events, each of which the active feature-format
+layout expands into cacheline addresses.  :class:`MemoryHierarchy` replays
+such traces against the cache simulator and accumulates the off-chip traffic
+that results, together with the access-pattern statistics the DRAM model
+needs to convert bytes into cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.core.config import CacheConfig, DRAMConfig
+from repro.formats.base import FeatureLayout
+from repro.memory.cache import CacheSimulator, CacheStats
+from repro.memory.dram import DRAMModel, TrafficPattern
+
+
+@dataclass
+class AccessStats:
+    """Result of replaying an access trace through the hierarchy.
+
+    Attributes:
+        cache: Cache hit/miss/writeback counters.
+        dram_read_bytes: Bytes fetched from DRAM (cache fills).
+        dram_write_bytes: Bytes written to DRAM (writebacks plus streaming
+            writes that bypass the cache).
+        cache_access_count: Number of cache accesses (for energy accounting).
+        average_burst_lines: Mean consecutive-line run length of the DRAM
+            fills, used to estimate bandwidth efficiency.
+    """
+
+    cache: CacheStats
+    dram_read_bytes: int = 0
+    dram_write_bytes: int = 0
+    cache_access_count: int = 0
+    average_burst_lines: float = 1.0
+
+    @property
+    def dram_total_bytes(self) -> int:
+        """Total off-chip traffic in bytes."""
+        return self.dram_read_bytes + self.dram_write_bytes
+
+
+class MemoryHierarchy:
+    """A global cache backed by HBM DRAM.
+
+    Args:
+        cache_config: Geometry of the shared on-chip cache.
+        dram_config: Off-chip memory configuration.
+        pinned_lines: Lines to pin in the cache (EnGN's degree-aware vertex
+            cache model).
+    """
+
+    def __init__(
+        self,
+        cache_config: CacheConfig,
+        dram_config: DRAMConfig,
+        pinned_lines: Optional[Set[int]] = None,
+    ) -> None:
+        self.cache = CacheSimulator(cache_config, pinned_lines=pinned_lines)
+        self.dram = DRAMModel(dram_config)
+        self.line_bytes = cache_config.line_bytes
+
+    # ------------------------------------------------------------------ #
+    def replay_row_trace(
+        self,
+        row_order: Iterable[int],
+        layout: FeatureLayout,
+        row_lines_cache: Optional[List[np.ndarray]] = None,
+        write: bool = False,
+    ) -> AccessStats:
+        """Replay a sequence of feature-row accesses through the cache.
+
+        Args:
+            row_order: Vertex ids in the order the aggregation engines access
+                their feature rows (one entry per edge, typically).
+            layout: Feature layout that maps a row to cacheline addresses.
+            row_lines_cache: Optional pre-computed ``layout.row_read_lines``
+                results (list indexed by row id) to avoid recomputation when
+                the same layout is replayed many times.
+            write: Treat the accesses as writes (dirty the lines).
+
+        Returns:
+            Aggregate :class:`AccessStats` for the trace.
+        """
+        start_stats = CacheStats(
+            accesses=self.cache.stats.accesses,
+            hits=self.cache.stats.hits,
+            misses=self.cache.stats.misses,
+            writebacks=self.cache.stats.writebacks,
+            line_bytes=self.line_bytes,
+        )
+
+        miss_runs: List[int] = []
+        current_run = 0
+        previous_missed_line = None
+
+        for row in row_order:
+            row = int(row)
+            if row_lines_cache is not None:
+                lines = row_lines_cache[row]
+            else:
+                lines = layout.row_read_lines(row)
+            for line in lines.tolist():
+                hit = self.cache.access(line, write=write)
+                if hit:
+                    if current_run:
+                        miss_runs.append(current_run)
+                        current_run = 0
+                    previous_missed_line = None
+                else:
+                    if previous_missed_line is not None and line == previous_missed_line + 1:
+                        current_run += 1
+                    else:
+                        if current_run:
+                            miss_runs.append(current_run)
+                        current_run = 1
+                    previous_missed_line = line
+        if current_run:
+            miss_runs.append(current_run)
+
+        end = self.cache.stats
+        delta = CacheStats(
+            accesses=end.accesses - start_stats.accesses,
+            hits=end.hits - start_stats.hits,
+            misses=end.misses - start_stats.misses,
+            writebacks=end.writebacks - start_stats.writebacks,
+            line_bytes=self.line_bytes,
+        )
+        average_burst = float(np.mean(miss_runs)) if miss_runs else 1.0
+        return AccessStats(
+            cache=delta,
+            dram_read_bytes=delta.miss_bytes,
+            dram_write_bytes=delta.writeback_bytes,
+            cache_access_count=delta.accesses,
+            average_burst_lines=average_burst,
+        )
+
+    # ------------------------------------------------------------------ #
+    def stream_write(self, num_bytes: int) -> AccessStats:
+        """Account for a streaming write that bypasses the cache.
+
+        Layer outputs (the next layer's features) are written back to DRAM as
+        long sequential bursts; they do not pollute the read cache in the
+        modelled designs.
+        """
+        stats = CacheStats(line_bytes=self.line_bytes)
+        return AccessStats(
+            cache=stats,
+            dram_read_bytes=0,
+            dram_write_bytes=int(num_bytes),
+            cache_access_count=0,
+            average_burst_lines=self.dram.SATURATION_BURST_LINES,
+        )
+
+    def stream_read(self, num_bytes: int) -> AccessStats:
+        """Account for a streaming read that bypasses the cache (weights,
+        topology tiles, partial-sum re-reads)."""
+        stats = CacheStats(line_bytes=self.line_bytes)
+        return AccessStats(
+            cache=stats,
+            dram_read_bytes=int(num_bytes),
+            dram_write_bytes=0,
+            cache_access_count=0,
+            average_burst_lines=self.dram.SATURATION_BURST_LINES,
+        )
+
+    def transfer_cycles(
+        self,
+        num_bytes: float,
+        frequency_ghz: float,
+        pattern: Optional[TrafficPattern] = None,
+    ) -> float:
+        """Cycles to move ``num_bytes`` with the given (or default) pattern."""
+        pattern = pattern or TrafficPattern(average_burst_lines=4.0, aligned=True)
+        return self.dram.transfer_cycles(num_bytes, frequency_ghz, pattern)
