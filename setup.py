@@ -20,4 +20,9 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.9",
     install_requires=["numpy>=1.21"],
+    entry_points={
+        "console_scripts": [
+            "repro=repro.experiments.cli:main",
+        ],
+    },
 )

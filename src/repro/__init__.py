@@ -15,7 +15,9 @@ Compressed-Sparse Features in Deep Graph Convolutional Network Accelerators"
   GCNAX, HyGCN, AWB-GCN, EnGN, and I-GCN.
 * ``repro.core`` — configuration dataclasses, the high-level ``simulate()``
   API, and result/comparison helpers.
-* ``repro.experiments`` — one function per paper figure and table.
+* ``repro.experiments`` — declarative experiment sweeps: scenario/sweep
+  specs, a parallel runner with result caching, paper-figure scenario
+  packs, and the ``python -m repro`` CLI.
 
 Quickstart::
 
@@ -36,6 +38,10 @@ from repro.core.config import (
 )
 from repro.core.api import simulate, compare_accelerators, available_accelerators
 from repro.core.results import LayerResult, SimulationResult, ComparisonResult
+from repro.experiments.runner import RunOutcome, SweepReport, SweepRunner, run_scenario
+from repro.experiments.scenarios import available_packs, get_pack
+from repro.experiments.spec import Scenario, SweepSpec
+from repro.experiments.store import ResultStore
 from repro.graphs.datasets import load_dataset, available_datasets
 from repro.errors import (
     ConfigurationError,
@@ -59,6 +65,15 @@ __all__ = [
     "LayerResult",
     "SimulationResult",
     "ComparisonResult",
+    "Scenario",
+    "SweepSpec",
+    "SweepRunner",
+    "SweepReport",
+    "RunOutcome",
+    "ResultStore",
+    "run_scenario",
+    "available_packs",
+    "get_pack",
     "load_dataset",
     "available_datasets",
     "ReproError",

@@ -1,0 +1,10 @@
+"""``python -m repro`` entry point (see :mod:`repro.experiments.cli`)."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

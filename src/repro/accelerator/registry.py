@@ -32,6 +32,10 @@ _FACTORIES: Dict[str, Callable[[], AcceleratorModel]] = {
     "sgcn_packed": SGCNPackedAccelerator,
 }
 
+#: Alternative spellings accepted for registry names (after case/dash/space
+#: folding).
+ACCELERATOR_ALIASES: Dict[str, str] = {"awbgcn": "awb_gcn", "i_gcn": "igcn"}
+
 #: Accelerators plotted in the paper's main comparison figures (11, 13-16).
 PAPER_COMPARISON = ("gcnax", "hygcn", "awb_gcn", "engn", "igcn", "sgcn")
 
@@ -62,8 +66,7 @@ def get_accelerator(name: str) -> AcceleratorModel:
     Common aliases (``"awb-gcn"``, ``"i-gcn"``) are accepted.
     """
     key = name.lower().replace("-", "_").replace(" ", "_")
-    aliases = {"awbgcn": "awb_gcn", "i_gcn": "igcn"}
-    key = aliases.get(key, key)
+    key = ACCELERATOR_ALIASES.get(key, key)
     if key not in _FACTORIES:
         raise ConfigurationError(
             f"unknown accelerator {name!r}; available: {', '.join(available_accelerators())}"

@@ -26,10 +26,10 @@ from repro.accelerator.registry import (
     available_accelerators as _available_accelerators,
     get_accelerator,
 )
-from repro.accelerator.simulator import AcceleratorModel
+from repro.accelerator.simulator import GCN_VARIANTS, AcceleratorModel
 from repro.core.config import SystemConfig
 from repro.core.results import ComparisonResult, SimulationResult
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.graphs.datasets import Dataset, load_dataset
 
 
@@ -48,6 +48,25 @@ def _resolve_accelerator(accelerator: Union[AcceleratorModel, str]) -> Accelerat
     if isinstance(accelerator, AcceleratorModel):
         return accelerator
     return get_accelerator(accelerator)
+
+
+def _validate_variant(variant: str) -> str:
+    """Check ``variant`` at the API boundary so bad input fails fast.
+
+    Returns:
+        The normalised (lower-case) variant name.
+
+    Raises:
+        ConfigurationError: If ``variant`` is not one of the supported
+            aggregation variants.
+    """
+    key = variant.lower() if isinstance(variant, str) else variant
+    if key not in GCN_VARIANTS:
+        raise ConfigurationError(
+            f"unknown GCN variant {variant!r}; supported variants: "
+            f"{', '.join(GCN_VARIANTS)}"
+        )
+    return key
 
 
 def simulate(
@@ -73,6 +92,7 @@ def simulate(
     Returns:
         The :class:`~repro.core.results.SimulationResult` of the run.
     """
+    variant = _validate_variant(variant)
     dataset_obj = _resolve_dataset(dataset, max_vertices)
     model = _resolve_accelerator(accelerator)
     return model.simulate(
@@ -110,8 +130,18 @@ def compare_accelerators(
     Returns:
         A :class:`~repro.core.results.ComparisonResult`.
     """
+    variant = _validate_variant(variant)
     dataset_obj = _resolve_dataset(dataset, max_vertices)
-    names: Iterable[Union[AcceleratorModel, str]] = accelerators or PAPER_COMPARISON
+    if accelerators is None:
+        names: Iterable[Union[AcceleratorModel, str]] = PAPER_COMPARISON
+    else:
+        names = list(accelerators)
+        if not names:
+            raise SimulationError(
+                "compare_accelerators() was given an empty accelerator "
+                "selection; pass None to compare the paper's main set "
+                f"({', '.join(PAPER_COMPARISON)}) or list at least one name"
+            )
     comparison = ComparisonResult(dataset=dataset_obj.name, baseline=baseline)
     for entry in names:
         model = _resolve_accelerator(entry)

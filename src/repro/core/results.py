@@ -19,6 +19,21 @@ from repro.errors import SimulationError
 from repro.memory.energy import EnergyBreakdown
 
 
+def _json_safe(value: object) -> object:
+    """Coerce numpy scalars/arrays and containers to JSON-encodable values."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [_json_safe(item) for item in value.tolist()]
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    return value
+
+
 @dataclass
 class TrafficBreakdown:
     """Off-chip DRAM traffic of one layer or one run, in bytes.
@@ -78,6 +93,31 @@ class TrafficBreakdown:
             "total": self.total_bytes,
         }
 
+    def to_dict(self) -> Dict[str, float]:
+        """Round-trip serialisation keyed by field name (see :meth:`from_dict`).
+
+        Unlike :meth:`as_dict` (a display view that renames components and
+        adds the total), this mapping reconstructs the object exactly.
+        """
+        return {
+            "topology_bytes": self.topology_bytes,
+            "feature_read_bytes": self.feature_read_bytes,
+            "feature_write_bytes": self.feature_write_bytes,
+            "weight_bytes": self.weight_bytes,
+            "psum_bytes": self.psum_bytes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "TrafficBreakdown":
+        """Rebuild a breakdown produced by :meth:`to_dict`."""
+        return cls(
+            topology_bytes=float(data["topology_bytes"]),
+            feature_read_bytes=float(data["feature_read_bytes"]),
+            feature_write_bytes=float(data["feature_write_bytes"]),
+            weight_bytes=float(data["weight_bytes"]),
+            psum_bytes=float(data["psum_bytes"]),
+        )
+
 
 @dataclass
 class LayerResult:
@@ -113,6 +153,43 @@ class LayerResult:
     cache_hit_rate: float
     energy: EnergyBreakdown
     weight: float = 1.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """Round-trip serialisation (see :meth:`from_dict`)."""
+        return {
+            "layer_index": int(self.layer_index),
+            "cycles": float(self.cycles),
+            "aggregation_cycles": float(self.aggregation_cycles),
+            "combination_cycles": float(self.combination_cycles),
+            "aggregation_compute_cycles": float(self.aggregation_compute_cycles),
+            "combination_compute_cycles": float(self.combination_compute_cycles),
+            "memory_cycles": float(self.memory_cycles),
+            "macs": float(self.macs),
+            "traffic": self.traffic.to_dict(),
+            "cache_accesses": float(self.cache_accesses),
+            "cache_hit_rate": float(self.cache_hit_rate),
+            "energy": self.energy.to_dict(),
+            "weight": float(self.weight),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "LayerResult":
+        """Rebuild a layer result produced by :meth:`to_dict`."""
+        return cls(
+            layer_index=int(data["layer_index"]),
+            cycles=float(data["cycles"]),
+            aggregation_cycles=float(data["aggregation_cycles"]),
+            combination_cycles=float(data["combination_cycles"]),
+            aggregation_compute_cycles=float(data["aggregation_compute_cycles"]),
+            combination_compute_cycles=float(data["combination_compute_cycles"]),
+            memory_cycles=float(data["memory_cycles"]),
+            macs=float(data["macs"]),
+            traffic=TrafficBreakdown.from_dict(data["traffic"]),
+            cache_accesses=float(data["cache_accesses"]),
+            cache_hit_rate=float(data["cache_hit_rate"]),
+            energy=EnergyBreakdown.from_dict(data["energy"]),
+            weight=float(data.get("weight", 1.0)),
+        )
 
 
 @dataclass
@@ -191,6 +268,31 @@ class SimulationResult:
             "cache_hit_rate": self.average_cache_hit_rate,
         }
 
+    def to_dict(self) -> Dict[str, object]:
+        """Round-trip serialisation of the full result (see :meth:`from_dict`).
+
+        The payload is JSON-safe: numpy scalars in ``metadata`` are coerced to
+        plain Python numbers.
+        """
+        return {
+            "accelerator": self.accelerator,
+            "dataset": self.dataset,
+            "frequency_ghz": float(self.frequency_ghz),
+            "metadata": {key: _json_safe(value) for key, value in self.metadata.items()},
+            "layers": [layer.to_dict() for layer in self.layers],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimulationResult":
+        """Rebuild a result produced by :meth:`to_dict`."""
+        return cls(
+            accelerator=str(data["accelerator"]),
+            dataset=str(data["dataset"]),
+            layers=[LayerResult.from_dict(layer) for layer in data.get("layers", [])],
+            frequency_ghz=float(data.get("frequency_ghz", 1.0)),
+            metadata=dict(data.get("metadata", {})),
+        )
+
 
 @dataclass
 class ComparisonResult:
@@ -242,6 +344,27 @@ class ComparisonResult:
                 f"(have: {sorted(self.results)})"
             )
         return self.results[key]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Round-trip serialisation (see :meth:`from_dict`)."""
+        return {
+            "dataset": self.dataset,
+            "baseline": self.baseline,
+            "results": {
+                name: result.to_dict() for name, result in self.results.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ComparisonResult":
+        """Rebuild a comparison produced by :meth:`to_dict`."""
+        comparison = cls(
+            dataset=str(data["dataset"]),
+            baseline=str(data.get("baseline", "gcnax")),
+        )
+        for result in data.get("results", {}).values():
+            comparison.add(SimulationResult.from_dict(result))
+        return comparison
 
 
 def geometric_mean(values: List[float]) -> float:

@@ -1,0 +1,73 @@
+"""Parallel experiment sweeps over the SGCN performance model.
+
+This subsystem sits above :func:`repro.core.api.simulate` and provides the
+declarative layer the paper's evaluation needs:
+
+* :mod:`repro.experiments.spec` — :class:`Scenario` / :class:`SweepSpec`
+  dataclasses that expand axes into a validated cartesian grid of runs;
+* :mod:`repro.experiments.runner` — :class:`SweepRunner`, a multiprocessing
+  executor with per-run error isolation;
+* :mod:`repro.experiments.store` — :class:`ResultStore`, a content-addressed
+  on-disk result cache, plus JSON/CSV exporters;
+* :mod:`repro.experiments.scenarios` — built-in packs reproducing the
+  paper's evaluation shapes (main comparison grid, cache/engine/HBM/depth
+  sensitivity sweeps);
+* :mod:`repro.experiments.cli` — the ``python -m repro`` command line.
+
+Quickstart::
+
+    from repro.experiments import SweepRunner, ResultStore, get_pack
+
+    spec = get_pack("paper-comparison", max_vertices=512)
+    runner = SweepRunner(store=ResultStore("results/.cache"), workers=4)
+    report = runner.run(spec.expand())
+    print(report.num_simulated, report.num_cached, report.num_failed)
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import (
+    RunOutcome,
+    SweepReport,
+    SweepRunner,
+    run_scenario,
+)
+from repro.experiments.scenarios import (
+    SCENARIO_PACKS,
+    available_packs,
+    get_pack,
+)
+from repro.experiments.spec import (
+    SUPPORTED_OVERRIDES,
+    Scenario,
+    SweepSpec,
+    build_config,
+)
+from repro.experiments.store import (
+    ResultStore,
+    export_scenario_json,
+    export_summary_csv,
+    export_summary_json,
+    load_sweep_rows,
+    summary_row,
+)
+
+__all__ = [
+    "RunOutcome",
+    "SweepReport",
+    "SweepRunner",
+    "run_scenario",
+    "SCENARIO_PACKS",
+    "available_packs",
+    "get_pack",
+    "SUPPORTED_OVERRIDES",
+    "Scenario",
+    "SweepSpec",
+    "build_config",
+    "ResultStore",
+    "export_scenario_json",
+    "export_summary_csv",
+    "export_summary_json",
+    "load_sweep_rows",
+    "summary_row",
+]

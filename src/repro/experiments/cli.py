@@ -1,0 +1,285 @@
+"""Command-line interface: ``python -m repro`` / the ``repro`` console script.
+
+Subcommands:
+
+* ``list`` — show the built-in scenario packs, datasets, and accelerators;
+* ``run`` — simulate one scenario and print its summary;
+* ``sweep`` — expand a scenario pack and run it across a worker pool with
+  result caching, writing per-scenario JSON plus a merged summary CSV;
+* ``export`` — merge a directory of per-scenario JSON documents (sweep
+  output or the cache store) into one CSV/JSON summary table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.accelerator.registry import available_accelerators
+from repro.accelerator.simulator import GCN_VARIANTS
+from repro.errors import ReproError
+from repro.experiments.runner import RunOutcome, SweepRunner, run_scenario
+from repro.experiments.scenarios import SCENARIO_PACKS, available_packs, get_pack
+from repro.experiments.spec import SUPPORTED_OVERRIDES, Scenario
+from repro.experiments.store import (
+    ResultStore,
+    export_scenario_json,
+    export_summary_csv,
+    export_summary_json,
+    load_sweep_rows,
+    summary_row,
+)
+from repro.graphs.datasets import DATASET_SPECS, DEFAULT_NUM_LAYERS
+
+logger = logging.getLogger("repro")
+
+
+# --------------------------------------------------------------------------- #
+# Argument parsing
+# --------------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SGCN (HPCA 2023) reproduction: experiment sweeps and exports.",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="enable debug logging"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list", help="list scenario packs, datasets, and accelerators"
+    )
+    list_parser.set_defaults(func=_cmd_list)
+
+    run_parser = subparsers.add_parser("run", help="simulate one scenario")
+    run_parser.add_argument("--dataset", required=True, help="dataset name")
+    run_parser.add_argument(
+        "--accelerator", default="sgcn", help="accelerator name (default: sgcn)"
+    )
+    run_parser.add_argument(
+        "--variant", default="gcn", choices=list(GCN_VARIANTS), help="GCN variant"
+    )
+    run_parser.add_argument("--seed", type=int, default=0, help="RNG seed")
+    run_parser.add_argument(
+        "--max-vertices", type=int, default=2048, help="dataset scale cap"
+    )
+    run_parser.add_argument(
+        "--layers", type=int, default=DEFAULT_NUM_LAYERS, help="GCN depth"
+    )
+    run_parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help=f"SystemConfig override (repeatable); keys: {', '.join(SUPPORTED_OVERRIDES)}",
+    )
+    run_parser.add_argument(
+        "--json", action="store_true", help="print the full result as JSON"
+    )
+    run_parser.set_defaults(func=_cmd_run)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run a built-in scenario pack across a worker pool"
+    )
+    sweep_parser.add_argument(
+        "pack",
+        help=f"scenario pack name or 'all'; packs: {', '.join(available_packs())}",
+    )
+    sweep_parser.add_argument(
+        "--workers", type=int, default=1, help="worker processes (default: 1)"
+    )
+    sweep_parser.add_argument(
+        "--out", default="results", help="output directory (default: results/)"
+    )
+    sweep_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache directory (default: <out>/.cache)",
+    )
+    sweep_parser.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    sweep_parser.add_argument(
+        "--max-vertices",
+        type=int,
+        default=None,
+        help="override the pack's dataset scale cap",
+    )
+    sweep_parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="expand and validate the pack without simulating",
+    )
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    export_parser = subparsers.add_parser(
+        "export", help="merge per-scenario JSON results into one summary table"
+    )
+    export_parser.add_argument(
+        "results_dir", help="directory of per-scenario JSON documents"
+    )
+    export_parser.add_argument(
+        "--out", required=True, help="output file (.csv or .json)"
+    )
+    export_parser.add_argument(
+        "--format",
+        choices=("csv", "json"),
+        default=None,
+        help="output format (default: inferred from --out suffix)",
+    )
+    export_parser.set_defaults(func=_cmd_export)
+
+    return parser
+
+
+def _parse_overrides(pairs: Sequence[str]) -> Dict[str, object]:
+    overrides: Dict[str, object] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ReproError(f"override {pair!r} is not of the form KEY=VALUE")
+        key, _, raw = pair.partition("=")
+        try:
+            value: object = json.loads(raw)
+        except ValueError:
+            value = raw
+        overrides[key.strip()] = value
+    return overrides
+
+
+# --------------------------------------------------------------------------- #
+# Subcommands
+# --------------------------------------------------------------------------- #
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("Scenario packs:")
+    for name in available_packs():
+        spec = get_pack(name)
+        print(f"  {name:<18} {spec.num_scenarios:>4} runs  {spec.description}")
+    print()
+    print(f"Datasets:     {', '.join(sorted(DATASET_SPECS))}")
+    print(f"Accelerators: {', '.join(available_accelerators())}")
+    print(f"Variants:     {', '.join(GCN_VARIANTS)}")
+    print(f"Overrides:    {', '.join(SUPPORTED_OVERRIDES)}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = Scenario(
+        dataset=args.dataset,
+        accelerator=args.accelerator,
+        variant=args.variant,
+        seed=args.seed,
+        max_vertices=args.max_vertices,
+        num_layers=args.layers,
+        overrides=_parse_overrides(args.overrides),
+    )
+    result = run_scenario(scenario)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(json.dumps(summary_row(scenario, result), indent=2))
+    return 0
+
+
+def _resolve_packs(name: str, max_vertices: Optional[int]) -> List:
+    if name.strip().lower() == "all":
+        return [get_pack(pack, max_vertices=max_vertices) for pack in available_packs()]
+    return [get_pack(name, max_vertices=max_vertices)]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    specs = _resolve_packs(args.pack, args.max_vertices)
+
+    if args.dry_run:
+        total = 0
+        for spec in specs:
+            scenarios = spec.expand()
+            total += len(scenarios)
+            print(f"{spec.name}: {len(scenarios)} scenarios (validated)")
+            for scenario in scenarios[:3]:
+                print(f"  {scenario.scenario_id}  {scenario.label()}")
+            if len(scenarios) > 3:
+                print(f"  ... {len(scenarios) - 3} more")
+        print(f"total: {total} scenarios across {len(specs)} pack(s); nothing simulated")
+        return 0
+
+    out_root = Path(args.out)
+    store: Optional[ResultStore] = None
+    if not args.no_cache:
+        cache_dir = Path(args.cache_dir) if args.cache_dir else out_root / ".cache"
+        store = ResultStore(cache_dir)
+    runner = SweepRunner(store=store, workers=args.workers)
+
+    exit_code = 0
+    for spec in specs:
+        scenarios = spec.expand()
+        pack_dir = out_root / spec.name
+        print(
+            f"sweep {spec.name}: {len(scenarios)} scenarios, "
+            f"{args.workers} worker(s), out={pack_dir}"
+        )
+
+        def progress(outcome: RunOutcome, finished: int, total: int) -> None:
+            status = "cached" if outcome.cached else ("ok" if outcome.ok else "FAILED")
+            print(
+                f"  [{finished:>{len(str(total))}}/{total}] "
+                f"{status:<6} {outcome.scenario.label()}"
+            )
+
+        report = runner.run(scenarios, progress=progress)
+
+        rows = []
+        for outcome in report.successes():
+            export_scenario_json(pack_dir, outcome.scenario, outcome.result)
+            rows.append(summary_row(outcome.scenario, outcome.result))
+        if rows:
+            csv_path = export_summary_csv(pack_dir / "summary.csv", rows)
+            export_summary_json(pack_dir / "summary.json", rows)
+            print(f"  wrote {len(rows)} scenario JSON files and {csv_path}")
+        print(
+            f"  done in {report.elapsed_s:.1f}s: {report.num_simulated} simulated, "
+            f"{report.num_cached} cache hits, {report.num_failed} failed"
+        )
+        for outcome in report.failures:
+            print(f"  FAILED {outcome.scenario.label()}:", file=sys.stderr)
+            print(outcome.error, file=sys.stderr)
+            exit_code = 1
+    return exit_code
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    rows = load_sweep_rows(args.results_dir)
+    out = Path(args.out)
+    fmt = args.format or ("json" if out.suffix.lower() == ".json" else "csv")
+    if fmt == "csv":
+        path = export_summary_csv(out, rows)
+    else:
+        path = export_summary_json(out, rows)
+    print(f"exported {len(rows)} rows to {path}")
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        format="%(levelname)s %(name)s: %(message)s",
+        stream=sys.stderr,
+    )
+    try:
+        return int(args.func(args))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+__all__ = ["build_parser", "main"]

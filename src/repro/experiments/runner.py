@@ -1,0 +1,273 @@
+"""Parallel sweep execution.
+
+:class:`SweepRunner` turns a list of :class:`~repro.experiments.spec.Scenario`
+objects into :class:`RunOutcome` records:
+
+* cached scenarios are answered from the :class:`ResultStore` without
+  touching the worker pool (incremental re-runs are near-no-ops);
+* the remaining scenarios are dispatched to a ``multiprocessing`` pool in
+  chunks; scenarios cross the process boundary as plain dictionaries and
+  results come back as ``to_dict()`` payloads, so the parent reconstructs
+  identical :class:`SimulationResult` objects whether a run happened
+  in-process (``workers=1``) or in a worker;
+* each worker run is wrapped in its own try/except, so one failing scenario
+  reports an error outcome instead of killing the sweep.
+
+Everything the simulation depends on is seeded from the scenario, so serial
+and parallel sweeps of the same spec produce identical summaries.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.api import simulate
+from repro.core.results import SimulationResult
+from repro.errors import ConfigurationError
+from repro.experiments.spec import Scenario
+from repro.experiments.store import ResultStore
+from repro.graphs.datasets import load_dataset
+
+logger = logging.getLogger(__name__)
+
+ProgressCallback = Callable[["RunOutcome", int, int], None]
+
+
+def run_scenario(scenario: Scenario) -> SimulationResult:
+    """Execute one scenario in the current process.
+
+    The dataset topology, the per-row sparsity draws, and the layer-sampling
+    budget are all derived from the scenario, so repeated calls are
+    bit-identical.  The scenario's identity is recorded in the result's
+    metadata for downstream exports.
+    """
+    scenario.validate()
+    dataset = load_dataset(
+        scenario.dataset,
+        max_vertices=scenario.max_vertices,
+        num_layers=scenario.num_layers,
+        seed=scenario.seed,
+    )
+    result = simulate(
+        dataset,
+        scenario.accelerator,
+        config=scenario.build_config(),
+        variant=scenario.variant,
+        max_sampled_layers=scenario.max_sampled_layers,
+        seed=scenario.seed,
+    )
+    result.metadata["scenario_id"] = scenario.scenario_id
+    result.metadata["scenario"] = scenario.to_dict()
+    return result
+
+
+def _worker_execute(payload: Tuple[int, Dict[str, object]]) -> Tuple[int, Dict[str, object]]:
+    """Pool entry point: run one scenario, never raise."""
+    index, scenario_dict = payload
+    started = time.perf_counter()
+    try:
+        scenario = Scenario.from_dict(scenario_dict)
+        result = run_scenario(scenario)
+        return index, {
+            "ok": True,
+            "result": result.to_dict(),
+            "elapsed_s": time.perf_counter() - started,
+        }
+    except Exception:  # noqa: BLE001 — isolation is the point
+        # Only ordinary errors are isolated: KeyboardInterrupt/SystemExit
+        # must still abort the sweep (especially in serial mode, where this
+        # runs in the main process).
+        return index, {
+            "ok": False,
+            "error": traceback.format_exc(),
+            "elapsed_s": time.perf_counter() - started,
+        }
+
+
+@dataclass
+class RunOutcome:
+    """What happened to one scenario of a sweep.
+
+    Attributes:
+        scenario: The scenario that was (or failed to be) simulated.
+        result: The simulation result; ``None`` when ``error`` is set.
+        error: Traceback text of a failed run; ``None`` on success.
+        cached: Whether the result came from the store without simulating.
+        elapsed_s: Wall-clock seconds the run took (0 for cache hits).
+    """
+
+    scenario: Scenario
+    result: Optional[SimulationResult] = None
+    error: Optional[str] = None
+    cached: bool = False
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the scenario produced a result."""
+        return self.result is not None
+
+
+@dataclass
+class SweepReport:
+    """Aggregate outcome of one :meth:`SweepRunner.run` call."""
+
+    outcomes: List[RunOutcome]
+    elapsed_s: float = 0.0
+
+    @property
+    def num_cached(self) -> int:
+        """Scenarios answered from the result cache."""
+        return sum(1 for outcome in self.outcomes if outcome.cached)
+
+    @property
+    def num_simulated(self) -> int:
+        """Scenarios actually simulated this run."""
+        return sum(1 for outcome in self.outcomes if outcome.ok and not outcome.cached)
+
+    @property
+    def num_failed(self) -> int:
+        """Scenarios that raised inside the worker."""
+        return sum(1 for outcome in self.outcomes if not outcome.ok)
+
+    @property
+    def failures(self) -> List[RunOutcome]:
+        """The failed outcomes, in scenario order."""
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    def successes(self) -> List[RunOutcome]:
+        """The successful outcomes, in scenario order."""
+        return [outcome for outcome in self.outcomes if outcome.ok]
+
+
+class SweepRunner:
+    """Execute scenarios across a worker pool with result caching.
+
+    Args:
+        store: Optional :class:`ResultStore`; when given, hits skip the pool
+            and fresh results are written back.
+        workers: Worker processes; ``1`` runs everything in-process (no pool).
+        chunk_size: Scenarios per pool task; defaults to a heuristic that
+            balances dispatch overhead against load imbalance.
+        mp_context: ``multiprocessing`` start method (``"fork"``/``"spawn"``);
+            platform default when omitted.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        workers: int = 1,
+        chunk_size: Optional[int] = None,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError("workers must be at least 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError("chunk_size must be at least 1")
+        self.store = store
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.mp_context = mp_context
+
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        scenarios: Sequence[Scenario],
+        progress: Optional[ProgressCallback] = None,
+    ) -> SweepReport:
+        """Run every scenario and return a :class:`SweepReport`.
+
+        Outcomes are returned in the order of ``scenarios`` regardless of
+        worker completion order.  ``progress`` (if given) is called once per
+        finished scenario with ``(outcome, finished_count, total)``.
+        """
+        started = time.perf_counter()
+        total = len(scenarios)
+        outcomes: List[Optional[RunOutcome]] = [None] * total
+        finished = 0
+
+        def record(index: int, outcome: RunOutcome) -> None:
+            nonlocal finished
+            outcomes[index] = outcome
+            finished += 1
+            if progress is not None:
+                progress(outcome, finished, total)
+
+        pending: List[Tuple[int, Scenario]] = []
+        for index, scenario in enumerate(scenarios):
+            cached = self.store.get(scenario) if self.store is not None else None
+            if cached is not None:
+                logger.info("cache hit: %s [%s]", scenario.label(), scenario.scenario_id)
+                record(index, RunOutcome(scenario=scenario, result=cached, cached=True))
+            else:
+                pending.append((index, scenario))
+
+        if pending:
+            if self.workers == 1:
+                self._run_serial(pending, record)
+            else:
+                self._run_pool(pending, record)
+
+        assert all(outcome is not None for outcome in outcomes)
+        return SweepReport(
+            outcomes=[outcome for outcome in outcomes if outcome is not None],
+            elapsed_s=time.perf_counter() - started,
+        )
+
+    # ------------------------------------------------------------------ #
+    def _finish(
+        self,
+        index: int,
+        scenario: Scenario,
+        payload: Dict[str, object],
+        record: Callable[[int, RunOutcome], None],
+    ) -> None:
+        elapsed = float(payload.get("elapsed_s", 0.0))
+        if payload["ok"]:
+            result = SimulationResult.from_dict(payload["result"])
+            if self.store is not None:
+                self.store.put(scenario, result)
+            record(
+                index,
+                RunOutcome(scenario=scenario, result=result, elapsed_s=elapsed),
+            )
+        else:
+            error = str(payload["error"])
+            logger.error("scenario %s failed:\n%s", scenario.label(), error)
+            record(
+                index,
+                RunOutcome(scenario=scenario, error=error, elapsed_s=elapsed),
+            )
+
+    def _run_serial(
+        self,
+        pending: Sequence[Tuple[int, Scenario]],
+        record: Callable[[int, RunOutcome], None],
+    ) -> None:
+        for index, scenario in pending:
+            _, payload = _worker_execute((index, scenario.to_dict()))
+            self._finish(index, scenario, payload, record)
+
+    def _run_pool(
+        self,
+        pending: Sequence[Tuple[int, Scenario]],
+        record: Callable[[int, RunOutcome], None],
+    ) -> None:
+        scenarios_by_index = {index: scenario for index, scenario in pending}
+        payloads = [(index, scenario.to_dict()) for index, scenario in pending]
+        workers = min(self.workers, len(payloads))
+        chunk = self.chunk_size or max(1, len(payloads) // (workers * 4))
+        context = multiprocessing.get_context(self.mp_context)
+        with context.Pool(processes=workers) as pool:
+            for index, payload in pool.imap_unordered(
+                _worker_execute, payloads, chunksize=chunk
+            ):
+                self._finish(index, scenarios_by_index[index], payload, record)
+
+
+__all__ = ["RunOutcome", "SweepReport", "SweepRunner", "run_scenario"]

@@ -1,0 +1,175 @@
+"""Built-in scenario packs reproducing the paper's evaluation shapes.
+
+Each pack is a factory returning a :class:`~repro.experiments.spec.SweepSpec`
+shaped like one of the SGCN paper's studies:
+
+* ``paper-comparison`` — the main accelerator x dataset grid behind the
+  speedup / traffic / energy figures (Figs. 11, 13, 14);
+* ``cache-size`` — global cache capacity sensitivity;
+* ``engine-count`` — aggregation/combination engine-count scalability;
+* ``hbm-generation`` — HBM1 vs HBM2 bandwidth sensitivity (Fig. 18);
+* ``depth-sweep`` — GCN depth 4-28 layers (the deep-GCN scaling story);
+* ``variant-sweep`` — GCN / GINConv / GraphSAGE aggregation variants
+  (Fig. 16).
+
+Packs default to scaled-down datasets (``max_vertices``) so a full sweep
+stays tractable on a laptop; pass a larger cap for higher fidelity.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.accelerator.registry import PAPER_COMPARISON
+from repro.errors import ConfigurationError
+from repro.experiments.spec import SweepSpec
+from repro.graphs.datasets import FIGURE_ORDER
+
+#: Default scale cap of the built-in packs; small enough that the full
+#: paper-comparison grid finishes in seconds, large enough to exercise the
+#: cache/tiling machinery.
+DEFAULT_PACK_MAX_VERTICES = 512
+
+#: Medium-sized datasets used by the sensitivity packs (one low-sparsity,
+#: one clustered, one hub-heavy graph).
+SENSITIVITY_DATASETS = ("pubmed", "dblp", "github")
+
+#: Accelerators contrasted in the sensitivity packs: the paper's design and
+#: its strongest dense-format baseline.
+SENSITIVITY_ACCELERATORS = ("gcnax", "sgcn")
+
+#: Cache capacities of the cache-size sensitivity pack (bytes).
+CACHE_CAPACITIES = tuple(kb * 1024 for kb in (128, 256, 512, 1024, 2048))
+
+#: Engine counts of the engine-count scalability pack.
+ENGINE_COUNTS = (2, 4, 8, 16, 32)
+
+#: GCN depths of the depth sweep (paper evaluates up to 28 layers).
+DEPTHS = (4, 8, 12, 16, 20, 24, 28)
+
+
+def paper_comparison_pack(max_vertices: int = DEFAULT_PACK_MAX_VERTICES) -> SweepSpec:
+    """Main comparison grid: every paper dataset x every paper accelerator."""
+    return SweepSpec(
+        name="paper-comparison",
+        description=(
+            "Main accelerator comparison over all nine datasets "
+            "(Figs. 11/13/14 grid)"
+        ),
+        datasets=FIGURE_ORDER,
+        accelerators=PAPER_COMPARISON,
+        max_vertices=max_vertices,
+    )
+
+
+def cache_size_pack(max_vertices: int = DEFAULT_PACK_MAX_VERTICES) -> SweepSpec:
+    """Global cache capacity sensitivity around the paper's 512 KB point."""
+    return SweepSpec(
+        name="cache-size",
+        description="Cache-capacity sensitivity (128 KB - 2 MB)",
+        datasets=SENSITIVITY_DATASETS,
+        accelerators=SENSITIVITY_ACCELERATORS,
+        override_grid=[
+            {"cache_capacity_bytes": capacity} for capacity in CACHE_CAPACITIES
+        ],
+        override_tags=[f"{capacity // 1024}KB" for capacity in CACHE_CAPACITIES],
+        max_vertices=max_vertices,
+    )
+
+
+def engine_count_pack(max_vertices: int = DEFAULT_PACK_MAX_VERTICES) -> SweepSpec:
+    """Engine-count scalability around the paper's 8+8 configuration."""
+    return SweepSpec(
+        name="engine-count",
+        description="Aggregation/combination engine-count scalability (2-32)",
+        datasets=SENSITIVITY_DATASETS,
+        accelerators=SENSITIVITY_ACCELERATORS,
+        override_grid=[{"num_engines": count} for count in ENGINE_COUNTS],
+        override_tags=[f"{count}eng" for count in ENGINE_COUNTS],
+        max_vertices=max_vertices,
+    )
+
+
+def hbm_generation_pack(max_vertices: int = DEFAULT_PACK_MAX_VERTICES) -> SweepSpec:
+    """HBM1 vs HBM2 bandwidth sensitivity (Fig. 18)."""
+    return SweepSpec(
+        name="hbm-generation",
+        description="HBM generation sweep (HBM1 128 GB/s vs HBM2 256 GB/s)",
+        datasets=SENSITIVITY_DATASETS,
+        accelerators=("gcnax", "hygcn", "sgcn"),
+        override_grid=[{"dram": "hbm1"}, {"dram": "hbm2"}],
+        override_tags=["HBM1", "HBM2"],
+        max_vertices=max_vertices,
+    )
+
+
+def depth_sweep_pack(max_vertices: int = DEFAULT_PACK_MAX_VERTICES) -> SweepSpec:
+    """GCN depth sweep from shallow (4) to the paper's deep 28-layer models."""
+    return SweepSpec(
+        name="depth-sweep",
+        description="GCN depth sweep, 4-28 layers",
+        datasets=("cora", "pubmed"),
+        accelerators=SENSITIVITY_ACCELERATORS,
+        depths=DEPTHS,
+        max_vertices=max_vertices,
+    )
+
+
+def variant_sweep_pack(max_vertices: int = DEFAULT_PACK_MAX_VERTICES) -> SweepSpec:
+    """Aggregation-variant sweep: GCN vs GINConv vs GraphSAGE (Fig. 16)."""
+    return SweepSpec(
+        name="variant-sweep",
+        description="Aggregation variant sweep (GCN / GINConv / GraphSAGE)",
+        datasets=SENSITIVITY_DATASETS,
+        accelerators=SENSITIVITY_ACCELERATORS,
+        variants=("gcn", "gin", "sage"),
+        max_vertices=max_vertices,
+    )
+
+
+#: Registry of the built-in packs by CLI name.
+SCENARIO_PACKS: Dict[str, Callable[[int], SweepSpec]] = {
+    "paper-comparison": paper_comparison_pack,
+    "cache-size": cache_size_pack,
+    "engine-count": engine_count_pack,
+    "hbm-generation": hbm_generation_pack,
+    "depth-sweep": depth_sweep_pack,
+    "variant-sweep": variant_sweep_pack,
+}
+
+
+def available_packs() -> List[str]:
+    """Names of the built-in scenario packs."""
+    return sorted(SCENARIO_PACKS)
+
+
+def get_pack(name: str, max_vertices: Optional[int] = None) -> SweepSpec:
+    """Build the named scenario pack.
+
+    Args:
+        name: Pack name (see :func:`available_packs`); case-insensitive,
+            underscores accepted in place of dashes.
+        max_vertices: Optional scale-cap override for every scenario.
+    """
+    key = name.strip().lower().replace("_", "-")
+    if key not in SCENARIO_PACKS:
+        raise ConfigurationError(
+            f"unknown scenario pack {name!r}; available: "
+            f"{', '.join(available_packs())}"
+        )
+    factory = SCENARIO_PACKS[key]
+    return factory(max_vertices if max_vertices is not None else DEFAULT_PACK_MAX_VERTICES)
+
+
+__all__ = [
+    "DEFAULT_PACK_MAX_VERTICES",
+    "SCENARIO_PACKS",
+    "available_packs",
+    "cache_size_pack",
+    "depth_sweep_pack",
+    "engine_count_pack",
+    "get_pack",
+    "hbm_generation_pack",
+    "paper_comparison_pack",
+    "variant_sweep_pack",
+]

@@ -50,6 +50,23 @@ class EnergyBreakdown:
             dram_joules=self.dram_joules * factor,
         )
 
+    def to_dict(self) -> dict:
+        """Round-trip serialisation (see :meth:`from_dict`)."""
+        return {
+            "compute_joules": self.compute_joules,
+            "cache_joules": self.cache_joules,
+            "dram_joules": self.dram_joules,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EnergyBreakdown":
+        """Rebuild a breakdown produced by :meth:`to_dict`."""
+        return cls(
+            compute_joules=float(data["compute_joules"]),
+            cache_joules=float(data["cache_joules"]),
+            dram_joules=float(data["dram_joules"]),
+        )
+
     def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
         return EnergyBreakdown(
             compute_joules=self.compute_joules + other.compute_joules,

@@ -1,0 +1,78 @@
+"""End-to-end tests of the ``python -m repro`` command line."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "paper-comparison" in out
+    assert "sgcn" in out
+
+
+def test_sweep_dry_run_expands_all_packs(capsys):
+    assert main(["sweep", "all", "--dry-run"]) == 0
+    out = capsys.readouterr().out
+    assert "nothing simulated" in out
+    assert "paper-comparison" in out
+
+
+def test_run_command_prints_summary(capsys):
+    assert main(
+        [
+            "run", "--dataset", "cora", "--accelerator", "sgcn",
+            "--max-vertices", "64", "--layers", "4",
+            "--set", "num_engines=4",
+        ]
+    ) == 0
+    summary = json.loads(capsys.readouterr().out)
+    assert summary["dataset"] == "cora"
+    assert summary["cycles"] > 0
+    assert json.loads(summary["overrides"]) == {"num_engines": 4}
+
+
+def test_sweep_run_cache_and_export(tmp_path, capsys):
+    out_dir = tmp_path / "results"
+    argv = [
+        "sweep", "hbm-generation",
+        "--workers", "2",
+        "--out", str(out_dir),
+        "--max-vertices", "64",
+    ]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert "18 simulated, 0 cache hits, 0 failed" in first
+
+    pack_dir = out_dir / "hbm-generation"
+    scenario_files = [
+        path for path in pack_dir.glob("*.json") if path.name != "summary.json"
+    ]
+    assert len(scenario_files) == 18
+    with (pack_dir / "summary.csv").open(encoding="utf-8", newline="") as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == 18
+    assert {row["tag"] for row in rows} == {"HBM1", "HBM2"}
+
+    # Second invocation is answered entirely from the cache.
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert "0 simulated, 18 cache hits, 0 failed" in second
+
+    # Export merges the per-scenario JSON documents back into a CSV.
+    export_path = tmp_path / "merged.csv"
+    assert main(["export", str(pack_dir), "--out", str(export_path)]) == 0
+    with export_path.open(encoding="utf-8", newline="") as handle:
+        merged = list(csv.DictReader(handle))
+    assert len(merged) == 18
+
+
+def test_unknown_pack_is_an_error(capsys):
+    assert main(["sweep", "no-such-pack", "--dry-run"]) == 2
+    assert "unknown scenario pack" in capsys.readouterr().err

@@ -1,0 +1,72 @@
+"""Round-trip fidelity of the result-container serialisation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.api import compare_accelerators
+from repro.core.results import (
+    ComparisonResult,
+    SimulationResult,
+    TrafficBreakdown,
+)
+from repro.graphs.datasets import load_dataset
+from repro.memory.energy import EnergyBreakdown
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    return load_dataset("cora", max_vertices=64, num_layers=4)
+
+
+def test_traffic_breakdown_round_trip():
+    traffic = TrafficBreakdown(
+        topology_bytes=1.5, feature_read_bytes=2.5, feature_write_bytes=3.5,
+        weight_bytes=4.5, psum_bytes=5.5,
+    )
+    rebuilt = TrafficBreakdown.from_dict(traffic.to_dict())
+    assert rebuilt == traffic
+    assert rebuilt.total_bytes == traffic.total_bytes
+
+
+def test_energy_breakdown_round_trip():
+    energy = EnergyBreakdown(compute_joules=1.0, cache_joules=2.0, dram_joules=3.0)
+    rebuilt = EnergyBreakdown.from_dict(energy.to_dict())
+    assert rebuilt == energy
+
+
+def test_simulation_result_round_trip_through_json(tiny_dataset):
+    from repro.core.api import simulate
+
+    result = simulate(tiny_dataset, "sgcn")
+    payload = json.dumps(result.to_dict())  # must be JSON-encodable
+    rebuilt = SimulationResult.from_dict(json.loads(payload))
+
+    assert rebuilt.accelerator == result.accelerator
+    assert rebuilt.dataset == result.dataset
+    assert len(rebuilt.layers) == len(result.layers)
+    assert rebuilt.total_cycles == pytest.approx(result.total_cycles)
+    assert rebuilt.dram_traffic_bytes == pytest.approx(result.dram_traffic_bytes)
+    assert rebuilt.total_macs == pytest.approx(result.total_macs)
+    assert rebuilt.energy.total_joules == pytest.approx(result.energy.total_joules)
+    assert rebuilt.average_cache_hit_rate == pytest.approx(
+        result.average_cache_hit_rate
+    )
+    for original, copy in zip(result.layers, rebuilt.layers):
+        assert copy.to_dict() == original.to_dict()
+
+
+def test_comparison_result_round_trip(tiny_dataset):
+    comparison = compare_accelerators(tiny_dataset, ["gcnax", "sgcn"])
+    rebuilt = ComparisonResult.from_dict(
+        json.loads(json.dumps(comparison.to_dict()))
+    )
+    assert rebuilt.dataset == comparison.dataset
+    assert rebuilt.baseline == comparison.baseline
+    assert rebuilt.accelerators() == comparison.accelerators()
+    assert rebuilt.speedups() == pytest.approx(comparison.speedups())
+    assert rebuilt.normalized_traffic() == pytest.approx(
+        comparison.normalized_traffic()
+    )

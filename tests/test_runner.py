@@ -1,0 +1,105 @@
+"""Sweep-runner behaviour: determinism, caching, and error isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import SweepRunner, run_scenario
+from repro.experiments.spec import Scenario, SweepSpec
+from repro.experiments.store import ResultStore
+
+TINY = dict(max_vertices=64, num_layers=4)
+
+
+@pytest.fixture(scope="module")
+def small_grid():
+    spec = SweepSpec(
+        name="grid",
+        datasets=["cora", "citeseer"],
+        accelerators=["sgcn", "gcnax"],
+        seeds=[0, 1],
+        max_vertices=64,
+    )
+    return spec.expand()
+
+
+def test_run_scenario_is_deterministic():
+    scenario = Scenario(dataset="cora", accelerator="sgcn", seed=7, **TINY)
+    first = run_scenario(scenario)
+    second = run_scenario(scenario)
+    assert first.summary() == second.summary()
+    assert first.metadata["scenario_id"] == scenario.scenario_id
+
+
+def test_parallel_sweep_matches_serial(small_grid):
+    serial = SweepRunner(workers=1).run(small_grid)
+    parallel = SweepRunner(workers=2).run(small_grid)
+    assert serial.num_failed == parallel.num_failed == 0
+    assert [o.scenario.scenario_id for o in serial.outcomes] == [
+        o.scenario.scenario_id for o in parallel.outcomes
+    ]
+    assert [o.result.summary() for o in serial.outcomes] == [
+        o.result.summary() for o in parallel.outcomes
+    ]
+
+
+def test_second_run_is_all_cache_hits(tmp_path, small_grid):
+    store = ResultStore(tmp_path / "cache")
+    first = SweepRunner(store=store, workers=2).run(small_grid)
+    assert first.num_simulated == len(small_grid)
+    assert first.num_cached == 0
+
+    second = SweepRunner(store=store, workers=2).run(small_grid)
+    assert second.num_simulated == 0
+    assert second.num_cached == len(small_grid)
+    assert [o.result.summary() for o in first.outcomes] == [
+        o.result.summary() for o in second.outcomes
+    ]
+
+
+def test_failing_scenario_does_not_kill_the_sweep(tmp_path):
+    good = Scenario(dataset="cora", accelerator="sgcn", **TINY)
+    # Bypass SweepSpec validation to inject a scenario that fails inside the
+    # worker (unknown dataset).
+    bad = Scenario(dataset="atlantis", accelerator="sgcn", **TINY)
+    good2 = Scenario(dataset="citeseer", accelerator="sgcn", **TINY)
+
+    store = ResultStore(tmp_path / "cache")
+    report = SweepRunner(store=store, workers=2).run([good, bad, good2])
+    assert report.num_failed == 1
+    assert report.num_simulated == 2
+    failed = report.failures[0]
+    assert failed.scenario.dataset == "atlantis"
+    assert failed.error and "atlantis" in failed.error
+    assert not store.contains(bad)
+    assert store.contains(good) and store.contains(good2)
+
+
+def test_keyboard_interrupt_aborts_serial_sweep(monkeypatch):
+    import repro.experiments.runner as runner_module
+
+    def interrupt(scenario):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(runner_module, "run_scenario", interrupt)
+    scenario = Scenario(dataset="cora", accelerator="sgcn", **TINY)
+    with pytest.raises(KeyboardInterrupt):
+        SweepRunner(workers=1).run([scenario])
+
+
+def test_progress_callback_sees_every_scenario(small_grid):
+    seen = []
+    SweepRunner(workers=1).run(
+        small_grid, progress=lambda outcome, done, total: seen.append((done, total))
+    )
+    assert len(seen) == len(small_grid)
+    assert seen[-1] == (len(small_grid), len(small_grid))
+
+
+def test_runner_rejects_bad_parameters():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        SweepRunner(workers=0)
+    with pytest.raises(ConfigurationError):
+        SweepRunner(chunk_size=0)

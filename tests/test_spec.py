@@ -1,0 +1,148 @@
+"""Tests for sweep-spec expansion and scenario identity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.scenarios import available_packs, get_pack
+from repro.experiments.spec import Scenario, SweepSpec, build_config
+
+
+def test_expand_is_cartesian_product():
+    spec = SweepSpec(
+        name="grid",
+        datasets=["cora", "pubmed"],
+        accelerators=["sgcn", "gcnax"],
+        variants=["gcn", "gin"],
+        seeds=[0, 1],
+        depths=[4, 8],
+        override_grid=[{}, {"num_engines": 4}],
+        max_vertices=64,
+    )
+    scenarios = spec.expand()
+    assert len(scenarios) == spec.num_scenarios == 2 * 2 * 2 * 2 * 2 * 2
+    combos = {
+        (s.dataset, s.accelerator, s.variant, s.seed, s.num_layers,
+         tuple(sorted(s.overrides.items())))
+        for s in scenarios
+    }
+    assert len(combos) == len(scenarios)
+    assert ("pubmed", "gcnax", "gin", 1, 8, (("num_engines", 4),)) in combos
+
+
+def test_expand_rejects_unknown_axis_values():
+    for kwargs in (
+        {"datasets": ["atlantis"], "accelerators": ["sgcn"]},
+        {"datasets": ["cora"], "accelerators": ["tpu"]},
+        {"datasets": ["cora"], "accelerators": ["sgcn"], "variants": ["gat"]},
+        {"datasets": ["cora"], "accelerators": ["sgcn"],
+         "override_grid": [{"warp_drive": 1}]},
+    ):
+        spec = SweepSpec(name="bad", max_vertices=64, **kwargs)
+        with pytest.raises(ConfigurationError):
+            spec.expand()
+
+
+def test_empty_axis_rejected_at_construction():
+    with pytest.raises(ConfigurationError):
+        SweepSpec(name="bad", datasets=[], accelerators=["sgcn"])
+    with pytest.raises(ConfigurationError):
+        SweepSpec(name="bad", datasets=["cora"], accelerators=["sgcn"],
+                  override_grid=[])
+    with pytest.raises(ConfigurationError):
+        SweepSpec(name="bad", datasets=["cora"], accelerators=["sgcn"],
+                  override_grid=[{}, {}],  # duplicate grid points
+                  ).expand()
+
+
+def test_override_tags_length_checked():
+    with pytest.raises(ConfigurationError):
+        SweepSpec(
+            name="bad",
+            datasets=["cora"],
+            accelerators=["sgcn"],
+            override_grid=[{}, {"num_engines": 4}],
+            override_tags=["only-one"],
+        )
+
+
+def test_scenario_id_deterministic_and_tag_independent():
+    a = Scenario(dataset="cora", accelerator="sgcn", overrides={"num_engines": 4})
+    b = Scenario(dataset="CORA", accelerator="SGCN", overrides={"num_engines": 4},
+                 tag="label")
+    c = Scenario(dataset="cora", accelerator="sgcn", overrides={"num_engines": 8})
+    assert a.scenario_id == b.scenario_id
+    assert a.scenario_id != c.scenario_id
+
+
+def test_scenario_is_hashable():
+    a = Scenario(dataset="cora", accelerator="sgcn", overrides={"num_engines": 4})
+    b = Scenario(dataset="cora", accelerator="sgcn", overrides={"num_engines": 4})
+    c = Scenario(dataset="cora", accelerator="gcnax")
+    assert hash(a) == hash(b)
+    assert a == b
+    assert {a, b, c} == {a, c}
+
+
+def test_accelerator_aliases_share_identity():
+    canonical = Scenario(dataset="cora", accelerator="igcn")
+    alias = Scenario(dataset="cora", accelerator="i-gcn")
+    assert alias.accelerator == "igcn"
+    assert alias.scenario_id == canonical.scenario_id
+    assert (
+        Scenario(dataset="cora", accelerator="awbgcn").accelerator == "awb_gcn"
+    )
+
+
+def test_scenario_round_trip():
+    scenario = Scenario(
+        dataset="pubmed", accelerator="awb-gcn", variant="sage", seed=3,
+        max_vertices=256, num_layers=12,
+        overrides={"cache_capacity_bytes": 262144, "dram": "hbm1"}, tag="x",
+    )
+    rebuilt = Scenario.from_dict(scenario.to_dict())
+    assert rebuilt == scenario
+    assert rebuilt.scenario_id == scenario.scenario_id
+    assert rebuilt.accelerator == "awb_gcn"
+
+
+def test_sweep_spec_round_trip():
+    spec = get_pack("cache-size", max_vertices=128)
+    rebuilt = SweepSpec.from_dict(spec.to_dict())
+    assert [s.scenario_id for s in rebuilt.expand()] == [
+        s.scenario_id for s in spec.expand()
+    ]
+
+
+def test_build_config_applies_overrides():
+    config = build_config(
+        {
+            "cache_capacity_bytes": 256 * 1024,
+            "num_engines": 4,
+            "dram": "hbm1",
+            "frequency_ghz": 2.0,
+            "pipeline_phases": False,
+        }
+    )
+    assert config.cache.capacity_bytes == 256 * 1024
+    assert config.engines.num_aggregation_engines == 4
+    assert config.engines.num_combination_engines == 4
+    assert config.dram.name == "HBM1"
+    assert config.engines.frequency_ghz == 2.0
+    assert config.pipeline_phases is False
+
+
+def test_build_config_rejects_illegal_values():
+    with pytest.raises(ConfigurationError):
+        build_config({"cache_capacity_bytes": 1000})  # not ways*line aligned
+    with pytest.raises(ConfigurationError):
+        build_config({"dram": "ddr3"})
+
+
+def test_builtin_packs_expand_and_validate():
+    for name in available_packs():
+        spec = get_pack(name, max_vertices=64)
+        scenarios = spec.expand()
+        assert scenarios, name
+        assert len({s.scenario_id for s in scenarios}) == len(scenarios)

@@ -1,0 +1,137 @@
+"""Tests for the content-addressed result store and exporters."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.core.results import SimulationResult
+from repro.errors import SimulationError
+from repro.experiments.runner import run_scenario
+from repro.experiments.spec import Scenario
+from repro.experiments.store import (
+    ResultStore,
+    export_scenario_json,
+    export_summary_csv,
+    load_sweep_rows,
+    scenario_cache_key,
+    summary_row,
+)
+
+TINY = dict(max_vertices=64, num_layers=4)
+
+
+@pytest.fixture(scope="module")
+def tiny_run():
+    scenario = Scenario(dataset="cora", accelerator="sgcn", **TINY)
+    return scenario, run_scenario(scenario)
+
+
+def test_put_get_round_trip(tmp_path, tiny_run):
+    scenario, result = tiny_run
+    store = ResultStore(tmp_path / "cache")
+    assert store.get(scenario) is None
+    assert not store.contains(scenario)
+    store.put(scenario, result)
+    assert store.contains(scenario)
+    loaded = store.get(scenario)
+    assert loaded is not None
+    assert loaded.summary() == result.summary()
+    assert len(store) == 1
+
+
+def test_different_scenarios_do_not_collide(tmp_path, tiny_run):
+    scenario, result = tiny_run
+    store = ResultStore(tmp_path / "cache")
+    store.put(scenario, result)
+    other = Scenario(dataset="cora", accelerator="gcnax", **TINY)
+    assert store.get(other) is None
+    with_override = Scenario(
+        dataset="cora", accelerator="sgcn",
+        overrides={"num_engines": 4}, **TINY,
+    )
+    assert store.get(with_override) is None
+
+
+def test_cache_key_is_order_insensitive():
+    a = Scenario(
+        dataset="cora", accelerator="sgcn",
+        overrides={"num_engines": 4, "cache_ways": 8}, **TINY,
+    )
+    b = Scenario(
+        dataset="cora", accelerator="sgcn",
+        overrides={"cache_ways": 8, "num_engines": 4}, **TINY,
+    )
+    assert scenario_cache_key(a) == scenario_cache_key(b)
+
+
+def test_corrupt_entry_is_a_miss(tmp_path, tiny_run):
+    scenario, result = tiny_run
+    store = ResultStore(tmp_path / "cache")
+    path = store.put(scenario, result)
+    path.write_text("{not json", encoding="utf-8")
+    assert store.get(scenario) is None
+    assert not path.exists()  # healed
+
+
+def test_entries_iterates_pairs(tmp_path, tiny_run):
+    scenario, result = tiny_run
+    store = ResultStore(tmp_path / "cache")
+    store.put(scenario, result)
+    pairs = list(store.entries())
+    assert len(pairs) == 1
+    loaded_scenario, loaded_result = pairs[0]
+    assert loaded_scenario.scenario_id == scenario.scenario_id
+    assert loaded_result.summary() == result.summary()
+
+
+def test_export_and_load_round_trip(tmp_path, tiny_run):
+    scenario, result = tiny_run
+    out = tmp_path / "out"
+    json_path = export_scenario_json(out, scenario, result)
+    document = json.loads(json_path.read_text(encoding="utf-8"))
+    assert document["scenario"]["dataset"] == "cora"
+    rebuilt = SimulationResult.from_dict(document["result"])
+    assert rebuilt.summary() == result.summary()
+
+    rows = load_sweep_rows(out)
+    assert len(rows) == 1
+    assert rows[0]["scenario_id"] == scenario.scenario_id
+
+    csv_path = export_summary_csv(tmp_path / "summary.csv", rows)
+    with csv_path.open(encoding="utf-8", newline="") as handle:
+        parsed = list(csv.DictReader(handle))
+    assert len(parsed) == 1
+    assert parsed[0]["dataset"] == "cora"
+    assert parsed[0]["accelerator"] == "sgcn"
+    assert float(parsed[0]["cycles"]) == pytest.approx(result.total_cycles)
+
+
+def test_load_sweep_rows_ignores_cache_dir_and_duplicates(tmp_path, tiny_run):
+    # A sweep places its cache under the output root; exporting that root
+    # must not double-count scenarios (once from the sweep JSON, once from
+    # the cache entry), nor count the same scenario twice across layouts.
+    scenario, result = tiny_run
+    out = tmp_path / "results"
+    export_scenario_json(out / "pack", scenario, result)
+    ResultStore(out / ".cache").put(scenario, result)
+    export_scenario_json(out / "pack-copy", scenario, result)
+
+    rows = load_sweep_rows(out)
+    assert len(rows) == 1
+    assert rows[0]["scenario_id"] == scenario.scenario_id
+
+
+def test_export_empty_rows_raises(tmp_path):
+    with pytest.raises(SimulationError):
+        export_summary_csv(tmp_path / "summary.csv", [])
+
+
+def test_summary_row_columns(tiny_run):
+    scenario, result = tiny_run
+    row = summary_row(scenario, result)
+    assert row["dataset"] == "cora"
+    assert row["cycles"] == result.total_cycles
+    assert json.loads(row["overrides"]) == {}
