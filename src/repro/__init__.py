@@ -13,13 +13,22 @@ Compressed-Sparse Features in Deep Graph Convolutional Network Accelerators"
 * ``repro.memory`` — cache and HBM DRAM models plus energy tables.
 * ``repro.accelerator`` — the SGCN accelerator model and baseline models of
   GCNAX, HyGCN, AWB-GCN, EnGN, and I-GCN.
-* ``repro.core`` — configuration dataclasses, the high-level ``simulate()``
-  API, and result/comparison helpers.
+* ``repro.core`` — configuration dataclasses, the canonical
+  ``RunSpec``/``Session`` API, the classic ``simulate()`` shims, and
+  result/comparison helpers.
 * ``repro.experiments`` — declarative experiment sweeps: scenario/sweep
   specs, a parallel runner with result caching, paper-figure scenario
   packs, and the ``python -m repro`` CLI.
 
 Quickstart::
+
+    from repro import RunSpec, Session
+
+    session = Session()
+    result = session.run(RunSpec(dataset="cora", accelerator="sgcn"))
+    print(result.total_cycles, result.dram_traffic_bytes)
+
+or, with the classic one-shot helpers::
 
     from repro import simulate, load_dataset, SystemConfig
 
@@ -36,8 +45,11 @@ from repro.core.config import (
     EngineConfig,
     SystemConfig,
 )
+from repro.core.runspec import RunSpec, SUPPORTED_OVERRIDES, build_config
+from repro.core.session import Session, default_session, reset_default_session
 from repro.core.api import simulate, compare_accelerators, available_accelerators
 from repro.core.results import LayerResult, SimulationResult, ComparisonResult
+from repro.registry import Registry
 from repro.experiments.runner import RunOutcome, SweepReport, SweepRunner, run_scenario
 from repro.experiments.scenarios import available_packs, get_pack
 from repro.experiments.spec import Scenario, SweepSpec
@@ -59,6 +71,13 @@ __all__ = [
     "DRAMConfig",
     "EngineConfig",
     "SystemConfig",
+    "RunSpec",
+    "SUPPORTED_OVERRIDES",
+    "build_config",
+    "Session",
+    "default_session",
+    "reset_default_session",
+    "Registry",
     "simulate",
     "compare_accelerators",
     "available_accelerators",

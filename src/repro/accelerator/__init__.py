@@ -20,7 +20,14 @@ from repro.accelerator.baselines import (
     EnGNAccelerator,
     IGCNAccelerator,
 )
-from repro.accelerator.registry import available_accelerators, get_accelerator
+from repro.accelerator.registry import (
+    ACCELERATORS,
+    available_accelerators,
+    get_accelerator,
+    register_accelerator,
+    temporary_accelerator,
+    unregister_accelerator,
+)
 from repro.accelerator.energy_model import AcceleratorEnergyModel
 
 __all__ = [
@@ -39,7 +46,11 @@ __all__ = [
     "AWBGCNAccelerator",
     "EnGNAccelerator",
     "IGCNAccelerator",
+    "ACCELERATORS",
     "available_accelerators",
     "get_accelerator",
+    "register_accelerator",
+    "temporary_accelerator",
+    "unregister_accelerator",
     "AcceleratorEnergyModel",
 ]

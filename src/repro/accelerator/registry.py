@@ -1,4 +1,10 @@
-"""Registry of accelerator models by name."""
+"""Registry of accelerator models by name.
+
+A thin instantiation of the generic :class:`repro.registry.Registry`: all
+folding/alias/extension machinery lives there; this module only declares the
+built-in models and re-exports the family-specific helpers the rest of the
+library (and downstream users) import.
+"""
 
 from __future__ import annotations
 
@@ -19,22 +25,28 @@ from repro.accelerator.sgcn import (
 )
 from repro.accelerator.simulator import AcceleratorModel
 from repro.errors import ConfigurationError
+from repro.registry import Registry
 
-_FACTORIES: Dict[str, Callable[[], AcceleratorModel]] = {
-    "gcnax": GCNAXAccelerator,
-    "hygcn": HyGCNAccelerator,
-    "awb_gcn": AWBGCNAccelerator,
-    "engn": EnGNAccelerator,
-    "igcn": IGCNAccelerator,
-    "sgcn": SGCNAccelerator,
-    "sgcn_no_sac": SGCNNoSACAccelerator,
-    "sgcn_nonsliced": SGCNNonSlicedAccelerator,
-    "sgcn_packed": SGCNPackedAccelerator,
-}
+#: The accelerator family registry (the single extension point for new
+#: accelerator backends).
+ACCELERATORS: Registry[AcceleratorModel] = Registry(
+    "accelerator", ConfigurationError
+)
+
+ACCELERATORS.register("gcnax", GCNAXAccelerator)
+ACCELERATORS.register("hygcn", HyGCNAccelerator)
+ACCELERATORS.register("awb_gcn", AWBGCNAccelerator, aliases=("awbgcn",))
+ACCELERATORS.register("engn", EnGNAccelerator)
+ACCELERATORS.register("igcn", IGCNAccelerator, aliases=("i_gcn",))
+ACCELERATORS.register("sgcn", SGCNAccelerator)
+ACCELERATORS.register("sgcn_no_sac", SGCNNoSACAccelerator)
+ACCELERATORS.register("sgcn_nonsliced", SGCNNonSlicedAccelerator)
+ACCELERATORS.register("sgcn_packed", SGCNPackedAccelerator)
 
 #: Alternative spellings accepted for registry names (after case/dash/space
-#: folding).
-ACCELERATOR_ALIASES: Dict[str, str] = {"awbgcn": "awb_gcn", "i_gcn": "igcn"}
+#: folding).  Kept as a plain mapping for backward compatibility; the live
+#: alias table is ``ACCELERATORS.aliases()``.
+ACCELERATOR_ALIASES: Dict[str, str] = ACCELERATORS.aliases()
 
 #: Accelerators plotted in the paper's main comparison figures (11, 13-16).
 PAPER_COMPARISON = ("gcnax", "hygcn", "awb_gcn", "engn", "igcn", "sgcn")
@@ -45,7 +57,7 @@ ABLATION_SEQUENCE = ("gcnax", "sgcn_nonsliced", "sgcn_no_sac", "sgcn")
 
 def available_accelerators() -> List[str]:
     """Names of every registered accelerator model."""
-    return sorted(_FACTORIES)
+    return ACCELERATORS.names()
 
 
 def register_accelerator(name: str, factory: Callable[[], AcceleratorModel]) -> None:
@@ -54,10 +66,17 @@ def register_accelerator(name: str, factory: Callable[[], AcceleratorModel]) -> 
     Raises:
         ConfigurationError: If ``name`` is already registered.
     """
-    key = name.lower()
-    if key in _FACTORIES:
-        raise ConfigurationError(f"accelerator {name!r} is already registered")
-    _FACTORIES[key] = factory
+    ACCELERATORS.register(name, factory)
+
+
+def unregister_accelerator(name: str) -> None:
+    """Remove a registered accelerator model (see :meth:`Registry.unregister`)."""
+    ACCELERATORS.unregister(name)
+
+
+def temporary_accelerator(name: str, factory: Callable[[], AcceleratorModel]):
+    """Context manager registering an accelerator for a ``with`` block only."""
+    return ACCELERATORS.temporary(name, factory)
 
 
 def get_accelerator(name: str) -> AcceleratorModel:
@@ -65,10 +84,17 @@ def get_accelerator(name: str) -> AcceleratorModel:
 
     Common aliases (``"awb-gcn"``, ``"i-gcn"``) are accepted.
     """
-    key = name.lower().replace("-", "_").replace(" ", "_")
-    key = ACCELERATOR_ALIASES.get(key, key)
-    if key not in _FACTORIES:
-        raise ConfigurationError(
-            f"unknown accelerator {name!r}; available: {', '.join(available_accelerators())}"
-        )
-    return _FACTORIES[key]()
+    return ACCELERATORS.get(name)
+
+
+__all__ = [
+    "ABLATION_SEQUENCE",
+    "ACCELERATORS",
+    "ACCELERATOR_ALIASES",
+    "PAPER_COMPARISON",
+    "available_accelerators",
+    "get_accelerator",
+    "register_accelerator",
+    "temporary_accelerator",
+    "unregister_accelerator",
+]

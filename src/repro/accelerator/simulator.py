@@ -22,6 +22,7 @@ engines partition the vertices, whether its compute skips zeros, and so on.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -226,6 +227,22 @@ class AcceleratorModel:
     def feature_format(self) -> FeatureFormat:
         """The feature format instance used for intermediate features."""
         return self._format
+
+    def use_format(
+        self, format_name: str, slice_size: Optional[int] = None
+    ) -> "AcceleratorModel":
+        """A copy of this model using a different intermediate-feature format.
+
+        Used by :class:`repro.core.session.Session` to apply a
+        :class:`~repro.core.runspec.RunSpec` feature-format override.  The
+        receiver is left untouched (sessions memoize and share model
+        instances across runs, so mutating in place would leak the override
+        into unrelated runs); the reconfigured copy is returned.
+        """
+        model = copy.copy(self)
+        model._format = get_format(format_name, slice_size=slice_size)
+        model.feature_format_name = model._format.name
+        return model
 
     def describe(self) -> Dict[str, object]:
         """Row of the paper's Table I for this accelerator."""

@@ -1,4 +1,4 @@
-"""High-level API: configuration, simulation entry points, and results."""
+"""High-level API: configuration, run descriptions, sessions, and results."""
 
 from __future__ import annotations
 
@@ -11,6 +11,13 @@ from repro.core.config import (
     HBM2,
 )
 from repro.core.results import LayerResult, SimulationResult, ComparisonResult
+from repro.core.runspec import (
+    DRAM_GENERATIONS,
+    RunSpec,
+    SUPPORTED_OVERRIDES,
+    build_config,
+)
+from repro.core.session import Session, default_session, reset_default_session
 from repro.core.api import simulate, compare_accelerators, available_accelerators
 
 __all__ = [
@@ -23,6 +30,13 @@ __all__ = [
     "LayerResult",
     "SimulationResult",
     "ComparisonResult",
+    "DRAM_GENERATIONS",
+    "RunSpec",
+    "SUPPORTED_OVERRIDES",
+    "build_config",
+    "Session",
+    "default_session",
+    "reset_default_session",
     "simulate",
     "compare_accelerators",
     "available_accelerators",

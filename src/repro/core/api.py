@@ -1,6 +1,23 @@
-"""High-level simulation API.
+"""High-level simulation API (classic function shims).
 
-Most users interact with the library through three functions:
+These helpers remain the quickest way to run one simulation, but they are now
+thin shims over the canonical run-description API: each call builds a
+:class:`~repro.core.runspec.RunSpec` and delegates to a shared default
+:class:`~repro.core.session.Session`.  New code — and anything that runs
+*batches* of simulations — should use ``RunSpec``/``Session`` directly::
+
+    from repro import RunSpec, Session
+
+    session = Session()
+    result = session.run(RunSpec(dataset="pubmed", accelerator="sgcn",
+                                 max_vertices=1024))
+    comparison = session.compare(
+        [RunSpec(dataset="pubmed", accelerator=name, max_vertices=1024)
+         for name in ("gcnax", "hygcn", "sgcn")],
+        baseline="gcnax",
+    )
+
+The shims:
 
 * :func:`simulate` — run one accelerator on one dataset;
 * :func:`compare_accelerators` — run several accelerators on the same dataset
@@ -22,32 +39,22 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Sequence, Union
 
 from repro.accelerator.registry import (
+    ACCELERATORS,
     PAPER_COMPARISON,
     available_accelerators as _available_accelerators,
-    get_accelerator,
 )
 from repro.accelerator.simulator import GCN_VARIANTS, AcceleratorModel
 from repro.core.config import SystemConfig
 from repro.core.results import ComparisonResult, SimulationResult
+from repro.core.runspec import DEFAULT_MAX_VERTICES, RunSpec
+from repro.core.session import Session, default_session
 from repro.errors import ConfigurationError, SimulationError
-from repro.graphs.datasets import Dataset, load_dataset
+from repro.graphs.datasets import Dataset
 
 
 def available_accelerators() -> List[str]:
     """Names of every modelled accelerator."""
     return _available_accelerators()
-
-
-def _resolve_dataset(dataset: Union[Dataset, str], max_vertices: int) -> Dataset:
-    if isinstance(dataset, Dataset):
-        return dataset
-    return load_dataset(dataset, max_vertices=max_vertices)
-
-
-def _resolve_accelerator(accelerator: Union[AcceleratorModel, str]) -> AcceleratorModel:
-    if isinstance(accelerator, AcceleratorModel):
-        return accelerator
-    return get_accelerator(accelerator)
 
 
 def _validate_variant(variant: str) -> str:
@@ -69,39 +76,97 @@ def _validate_variant(variant: str) -> str:
     return key
 
 
+def _resolve_dataset(
+    session: Session, dataset: Union[Dataset, str], max_vertices: Optional[int]
+) -> Dataset:
+    """Resolve a dataset argument, rejecting a cap that cannot apply.
+
+    A :class:`Dataset` instance is already scaled, so an *explicit*
+    ``max_vertices`` alongside one is a contradiction — it used to be silently
+    dropped; now it raises so the caller notices the cap never applied.
+    """
+    if isinstance(dataset, Dataset):
+        if max_vertices is not None:
+            raise ConfigurationError(
+                f"max_vertices={max_vertices} conflicts with an explicit "
+                f"Dataset instance ({dataset.name!r} is already loaded with "
+                f"{dataset.num_vertices} vertices); pass the cap to "
+                "load_dataset() instead, or drop it"
+            )
+        return dataset
+    return session.load_dataset(
+        dataset,
+        max_vertices=DEFAULT_MAX_VERTICES if max_vertices is None else max_vertices,
+    )
+
+
+def _resolve_accelerator(
+    session: Session, accelerator: Union[AcceleratorModel, str]
+) -> AcceleratorModel:
+    if isinstance(accelerator, AcceleratorModel):
+        return accelerator
+    return session.accelerator(accelerator)
+
+
+def _shim_spec(
+    dataset: Dataset,
+    accelerator: AcceleratorModel,
+    variant: str,
+    max_sampled_layers: int,
+    seed: int,
+) -> RunSpec:
+    return RunSpec(
+        dataset=dataset.name,
+        accelerator=accelerator.name,
+        variant=variant,
+        seed=seed,
+        max_vertices=dataset.num_vertices,
+        max_sampled_layers=max_sampled_layers,
+        num_layers=dataset.num_layers,
+    )
+
+
 def simulate(
     dataset: Union[Dataset, str],
     accelerator: Union[AcceleratorModel, str] = "sgcn",
     config: Optional[SystemConfig] = None,
     variant: str = "gcn",
-    max_vertices: int = 2048,
+    max_vertices: Optional[int] = None,
     max_sampled_layers: int = 6,
     seed: int = 0,
 ) -> SimulationResult:
     """Simulate one accelerator running a deep GCN on one dataset.
+
+    A shim over :meth:`repro.core.session.Session.run`; with a pre-loaded
+    :class:`Dataset` the result is byte-identical to running the equivalent
+    :class:`~repro.core.runspec.RunSpec` through a session.  One historical
+    quirk is preserved when the dataset is given by *name*: ``seed`` here
+    seeds only the per-row sparsity draws (the topology is generated with
+    seed 0, as this function always did), whereas a ``RunSpec``'s seed drives
+    both.  Load the dataset yourself — or use ``RunSpec`` — when you want the
+    seed to vary the topology too.
 
     Args:
         dataset: A :class:`~repro.graphs.datasets.Dataset` or a dataset name.
         accelerator: An accelerator model instance or registry name.
         config: System configuration (paper Table III defaults when omitted).
         variant: Aggregation variant (``"gcn"``, ``"gin"``, ``"sage"``).
-        max_vertices: Scale cap applied when ``dataset`` is given by name.
+        max_vertices: Scale cap applied when ``dataset`` is given by name
+            (default 2048).  Passing it together with a ``Dataset`` instance
+            raises :class:`ConfigurationError` — the instance is already
+            scaled, so the cap could never apply.
         max_sampled_layers: Representative-layer sampling budget.
         seed: Seed for the synthetic per-row sparsity draws.
 
     Returns:
         The :class:`~repro.core.results.SimulationResult` of the run.
     """
+    session = default_session()
     variant = _validate_variant(variant)
-    dataset_obj = _resolve_dataset(dataset, max_vertices)
-    model = _resolve_accelerator(accelerator)
-    return model.simulate(
-        dataset_obj,
-        config=config,
-        variant=variant,
-        max_sampled_layers=max_sampled_layers,
-        seed=seed,
-    )
+    dataset_obj = _resolve_dataset(session, dataset, max_vertices)
+    model = _resolve_accelerator(session, accelerator)
+    spec = _shim_spec(dataset_obj, model, variant, max_sampled_layers, seed)
+    return session.run(spec, dataset=dataset_obj, accelerator=model, config=config)
 
 
 def compare_accelerators(
@@ -110,11 +175,16 @@ def compare_accelerators(
     config: Optional[SystemConfig] = None,
     variant: str = "gcn",
     baseline: str = "gcnax",
-    max_vertices: int = 2048,
+    max_vertices: Optional[int] = None,
     max_sampled_layers: int = 6,
     seed: int = 0,
 ) -> ComparisonResult:
     """Simulate several accelerators on the same dataset and configuration.
+
+    A shim over :meth:`repro.core.session.Session.run`.  Every accelerator
+    reference — including the ``baseline`` — is resolved *before* the first
+    simulation, so a typo fails in milliseconds instead of after the whole
+    comparison has run.
 
     Args:
         dataset: Dataset instance or name.
@@ -123,15 +193,18 @@ def compare_accelerators(
         config: Shared system configuration.
         variant: Aggregation variant.
         baseline: Name used as the normalisation baseline.
-        max_vertices: Scale cap applied when ``dataset`` is given by name.
+        max_vertices: Scale cap applied when ``dataset`` is given by name
+            (default 2048); conflicts with a ``Dataset`` instance, as in
+            :func:`simulate`.
         max_sampled_layers: Representative-layer sampling budget.
         seed: Seed for the synthetic per-row sparsity draws.
 
     Returns:
         A :class:`~repro.core.results.ComparisonResult`.
     """
+    session = default_session()
     variant = _validate_variant(variant)
-    dataset_obj = _resolve_dataset(dataset, max_vertices)
+    dataset_obj = _resolve_dataset(session, dataset, max_vertices)
     if accelerators is None:
         names: Iterable[Union[AcceleratorModel, str]] = PAPER_COMPARISON
     else:
@@ -142,20 +215,24 @@ def compare_accelerators(
                 "selection; pass None to compare the paper's main set "
                 f"({', '.join(PAPER_COMPARISON)}) or list at least one name"
             )
-    comparison = ComparisonResult(dataset=dataset_obj.name, baseline=baseline)
-    for entry in names:
-        model = _resolve_accelerator(entry)
-        comparison.add(
-            model.simulate(
-                dataset_obj,
-                config=config,
-                variant=variant,
-                max_sampled_layers=max_sampled_layers,
-                seed=seed,
-            )
-        )
-    if baseline not in comparison.results:
+    # Resolve every entry up front: unknown names fail here, and the baseline
+    # is checked against the resolved set before any simulation runs.  An
+    # exact match against the models' names (which pre-resolved custom
+    # instances may spell any way they like) wins; otherwise the baseline is
+    # canonicalised so alias spellings like "awb-gcn" work too.
+    models = [_resolve_accelerator(session, entry) for entry in names]
+    model_names = {model.name for model in models}
+    baseline_key = (
+        baseline if baseline in model_names else ACCELERATORS.canonical(baseline)
+    )
+    if baseline_key not in model_names:
         raise SimulationError(
             f"baseline {baseline!r} was not among the simulated accelerators"
+        )
+    comparison = ComparisonResult(dataset=dataset_obj.name, baseline=baseline_key)
+    for model in models:
+        spec = _shim_spec(dataset_obj, model, variant, max_sampled_layers, seed)
+        comparison.add(
+            session.run(spec, dataset=dataset_obj, accelerator=model, config=config)
         )
     return comparison

@@ -1,0 +1,310 @@
+"""The canonical description of one simulation run.
+
+A :class:`RunSpec` is the *single* source of truth for everything that can
+change a simulation's output: dataset reference and scale caps, GCN depth,
+accelerator reference, aggregation variant, optional feature-format override,
+layer-sampling budget, seed, and flat :class:`~repro.core.config.SystemConfig`
+overrides.  It is plain data: validated against the library's registries,
+hashable, deterministic in identity (:attr:`RunSpec.scenario_id`), JSON
+round-trippable (:meth:`to_dict` / :meth:`from_dict`), and cheap to pickle
+for multiprocessing sweeps.
+
+Every surface of the library consumes it:
+
+* :class:`repro.core.session.Session` executes ``RunSpec``s (one at a time or
+  as memoized batches);
+* :func:`repro.core.api.simulate` / ``compare_accelerators`` are thin shims
+  that build a ``RunSpec`` and delegate to a default session;
+* ``repro.experiments.spec.Scenario`` *is* ``RunSpec`` (an alias), so grid
+  expansion, the content-addressed result cache, and the CLI all share this
+  one definition.
+
+Identity note: :attr:`scenario_id` hashes exactly the fields that existed
+before this class unified the surfaces; optional new axes (the feature-format
+override) only enter the identity when they are actually set, so existing
+:class:`~repro.experiments.store.ResultStore` caches keep hitting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.accelerator.registry import ACCELERATORS
+from repro.accelerator.simulator import GCN_VARIANTS
+from repro.core.config import HBM1, HBM2, DRAMConfig, SystemConfig
+from repro.errors import ConfigurationError
+from repro.formats.registry import FORMATS
+from repro.graphs.datasets import DATASET_SPECS, DEFAULT_NUM_LAYERS
+
+#: Named DRAM generations accepted by the ``"dram"`` override.
+DRAM_GENERATIONS: Dict[str, DRAMConfig] = {"hbm1": HBM1, "hbm2": HBM2}
+
+#: Default dataset scale cap shared by :class:`RunSpec` and the classic
+#: :func:`repro.core.api.simulate` shims (one definition, so they cannot
+#: silently diverge).
+DEFAULT_MAX_VERTICES = 2048
+
+#: Flat SystemConfig override keys accepted by :meth:`RunSpec.build_config`.
+SUPPORTED_OVERRIDES: Tuple[str, ...] = (
+    "cache_capacity_bytes",
+    "cache_ways",
+    "num_engines",
+    "num_aggregation_engines",
+    "num_combination_engines",
+    "frequency_ghz",
+    "simd_width",
+    "systolic_rows",
+    "systolic_cols",
+    "dram",
+    "dram_bandwidth_gbps",
+    "sgcn_slice_size",
+    "sac_strip_height",
+    "pipeline_phases",
+)
+
+
+def _normalise_overrides(overrides: Mapping[str, object]) -> Dict[str, object]:
+    """Validate override keys and return a plain, sorted dictionary."""
+    unknown = sorted(set(overrides) - set(SUPPORTED_OVERRIDES))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown SystemConfig override(s) {unknown}; supported: "
+            f"{', '.join(SUPPORTED_OVERRIDES)}"
+        )
+    return {key: overrides[key] for key in sorted(overrides)}
+
+
+def build_config(
+    overrides: Mapping[str, object], base: Optional[SystemConfig] = None
+) -> SystemConfig:
+    """Apply flat override keys to a base :class:`SystemConfig`.
+
+    The frozen config dataclasses perform their own validation, so illegal
+    combinations (e.g. a cache capacity that is not a multiple of
+    ``ways * line_bytes``) surface as :class:`ConfigurationError` here rather
+    than mid-sweep.
+    """
+    overrides = _normalise_overrides(overrides)
+    config = base or SystemConfig()
+    engines = config.engines
+    cache = config.cache
+    dram = config.dram
+
+    if "num_engines" in overrides:
+        count = int(overrides["num_engines"])
+        engines = replace(
+            engines,
+            num_aggregation_engines=count,
+            num_combination_engines=count,
+        )
+    for key in ("num_aggregation_engines", "num_combination_engines"):
+        if key in overrides:
+            engines = replace(engines, **{key: int(overrides[key])})
+    for key in ("simd_width", "systolic_rows", "systolic_cols"):
+        if key in overrides:
+            engines = replace(engines, **{key: int(overrides[key])})
+    if "frequency_ghz" in overrides:
+        engines = replace(engines, frequency_ghz=float(overrides["frequency_ghz"]))
+
+    if "cache_capacity_bytes" in overrides:
+        cache = replace(cache, capacity_bytes=int(overrides["cache_capacity_bytes"]))
+    if "cache_ways" in overrides:
+        cache = replace(cache, ways=int(overrides["cache_ways"]))
+
+    if "dram" in overrides:
+        name = str(overrides["dram"]).lower()
+        if name not in DRAM_GENERATIONS:
+            raise ConfigurationError(
+                f"unknown DRAM generation {overrides['dram']!r}; "
+                f"choose from {', '.join(sorted(DRAM_GENERATIONS))}"
+            )
+        dram = DRAM_GENERATIONS[name]
+    if "dram_bandwidth_gbps" in overrides:
+        dram = replace(
+            dram, peak_bandwidth_gbps=float(overrides["dram_bandwidth_gbps"])
+        )
+
+    config = replace(config, engines=engines, cache=cache, dram=dram)
+    if "sgcn_slice_size" in overrides:
+        config = replace(config, sgcn_slice_size=int(overrides["sgcn_slice_size"]))
+    if "sac_strip_height" in overrides:
+        config = replace(config, sac_strip_height=int(overrides["sac_strip_height"]))
+    if "pipeline_phases" in overrides:
+        config = replace(config, pipeline_phases=bool(overrides["pipeline_phases"]))
+    return config
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-determined simulation run.
+
+    Attributes:
+        dataset: Dataset key (``"cora"``, ... — see Table II).
+        accelerator: Accelerator registry name (``"sgcn"``, ``"gcnax"``, ...).
+        variant: Aggregation variant (``"gcn"``, ``"gin"``, ``"sage"``).
+        seed: Seed for topology generation and per-row sparsity draws.
+        max_vertices: Scale cap applied when loading the dataset.
+        max_sampled_layers: Representative-layer sampling budget.
+        num_layers: GCN depth (paper default 28).
+        overrides: Flat :class:`SystemConfig` overrides (see
+            :data:`SUPPORTED_OVERRIDES`); empty means Table III defaults.
+        feature_format: Optional feature-format registry name that replaces
+            the accelerator's native intermediate-feature format (``None``
+            keeps the design's own format and, for cache-compatibility, stays
+            out of the run identity).
+        tag: Optional free-form label carried into exports (e.g. the sweep
+            axis value the run represents).
+    """
+
+    dataset: str
+    accelerator: str
+    variant: str = "gcn"
+    seed: int = 0
+    max_vertices: int = DEFAULT_MAX_VERTICES
+    max_sampled_layers: int = 6
+    num_layers: int = DEFAULT_NUM_LAYERS
+    overrides: Mapping[str, object] = field(default_factory=dict)
+    feature_format: Optional[str] = None
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "dataset", self.dataset.strip().lower())
+        # Fold accelerator spellings to the canonical registry key (including
+        # aliases) so e.g. "i-gcn" and "igcn" share one run identity and
+        # cache entry.
+        object.__setattr__(
+            self, "accelerator", ACCELERATORS.canonical(self.accelerator)
+        )
+        object.__setattr__(self, "variant", self.variant.strip().lower())
+        object.__setattr__(self, "overrides", dict(self.overrides))
+        if self.feature_format is not None:
+            object.__setattr__(
+                self, "feature_format", FORMATS.canonical(self.feature_format)
+            )
+
+    def __hash__(self) -> int:
+        # The frozen dataclass's generated __hash__ would hash the overrides
+        # dict and raise; hash the canonical identity instead so run specs
+        # work in sets and as dict keys (consistent with field equality:
+        # equal specs have equal keys, hence equal hashes).
+        return hash((self.scenario_id, self.tag))
+
+    # ------------------------------------------------------------------ #
+    def validate(self) -> "RunSpec":
+        """Check every field against the library's registries.
+
+        Returns ``self`` so the call chains; raises
+        :class:`ConfigurationError` (or :class:`~repro.errors.FormatError`
+        for a bad format override) on the first problem.
+        """
+        if self.dataset not in DATASET_SPECS:
+            raise ConfigurationError(
+                f"unknown dataset {self.dataset!r}; available: "
+                f"{', '.join(sorted(DATASET_SPECS))}"
+            )
+        ACCELERATORS.factory(self.accelerator)
+        if self.variant not in GCN_VARIANTS:
+            raise ConfigurationError(
+                f"unknown GCN variant {self.variant!r}; supported: "
+                f"{', '.join(GCN_VARIANTS)}"
+            )
+        if self.feature_format is not None:
+            FORMATS.factory(self.feature_format)
+        if self.num_layers <= 0:
+            raise ConfigurationError("num_layers must be positive")
+        if self.max_vertices < 2:
+            raise ConfigurationError("max_vertices must be at least 2")
+        if self.max_sampled_layers <= 0:
+            raise ConfigurationError("max_sampled_layers must be positive")
+        build_config(self.overrides)
+        return self
+
+    def build_config(self, base: Optional[SystemConfig] = None) -> SystemConfig:
+        """The :class:`SystemConfig` this run executes under."""
+        return build_config(self.overrides, base=base)
+
+    # ------------------------------------------------------------------ #
+    def key(self) -> Dict[str, object]:
+        """Canonical mapping that determines the run's identity.
+
+        Everything that can change the simulation output is included; the
+        display-only ``tag`` is not.  The optional ``feature_format`` axis
+        joins the key only when set, so identities (and therefore
+        content-addressed cache entries) of runs written before the axis
+        existed are unchanged.
+        """
+        data: Dict[str, object] = {
+            "dataset": self.dataset,
+            "accelerator": self.accelerator,
+            "variant": self.variant,
+            "seed": int(self.seed),
+            "max_vertices": int(self.max_vertices),
+            "max_sampled_layers": int(self.max_sampled_layers),
+            "num_layers": int(self.num_layers),
+            "overrides": _normalise_overrides(self.overrides),
+        }
+        if self.feature_format is not None:
+            data["feature_format"] = self.feature_format
+        return data
+
+    @property
+    def scenario_id(self) -> str:
+        """Deterministic 12-hex-digit identity derived from :meth:`key`."""
+        payload = json.dumps(self.key(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
+
+    @property
+    def run_id(self) -> str:
+        """Alias of :attr:`scenario_id` under the RunSpec vocabulary."""
+        return self.scenario_id
+
+    def label(self) -> str:
+        """Human-readable one-line description used in logs."""
+        parts = [self.dataset, self.accelerator]
+        if self.variant != "gcn":
+            parts.append(self.variant)
+        if self.feature_format is not None:
+            parts.append(self.feature_format)
+        if self.num_layers != DEFAULT_NUM_LAYERS:
+            parts.append(f"L{self.num_layers}")
+        if self.seed:
+            parts.append(f"seed{self.seed}")
+        for key, value in sorted(self.overrides.items()):
+            parts.append(f"{key}={value}")
+        return "/".join(str(part) for part in parts)
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """Round-trip serialisation (see :meth:`from_dict`)."""
+        data = self.key()
+        data["tag"] = self.tag
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RunSpec":
+        """Rebuild a spec produced by :meth:`to_dict`."""
+        raw_format = data.get("feature_format")
+        return cls(
+            dataset=str(data["dataset"]),
+            accelerator=str(data["accelerator"]),
+            variant=str(data.get("variant", "gcn")),
+            seed=int(data.get("seed", 0)),
+            max_vertices=int(data.get("max_vertices", DEFAULT_MAX_VERTICES)),
+            max_sampled_layers=int(data.get("max_sampled_layers", 6)),
+            num_layers=int(data.get("num_layers", DEFAULT_NUM_LAYERS)),
+            overrides=dict(data.get("overrides", {})),
+            feature_format=None if raw_format is None else str(raw_format),
+            tag=str(data.get("tag", "")),
+        )
+
+
+__all__ = [
+    "DEFAULT_MAX_VERTICES",
+    "DRAM_GENERATIONS",
+    "RunSpec",
+    "SUPPORTED_OVERRIDES",
+    "build_config",
+]

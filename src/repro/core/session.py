@@ -1,0 +1,375 @@
+"""Execution façade that owns registry lookups and per-run caching.
+
+A :class:`Session` turns :class:`~repro.core.runspec.RunSpec` descriptions
+into :class:`~repro.core.results.SimulationResult` objects.  It is the one
+place that touches the registries, and it memoizes the expensive
+spec-independent work across runs:
+
+* :meth:`Session.load_dataset` — synthetic-dataset construction is cached
+  (LRU) on ``(name, max_vertices, num_layers, seed)``, so a batch that sweeps
+  accelerators over one dataset builds the topology once;
+* :meth:`Session.accelerator` — accelerator models (including optional
+  feature-format overrides) are instantiated once per session;
+* :meth:`Session.run` / :meth:`Session.run_many` — execute one spec or a
+  batch, optionally annotating results with the spec's identity for
+  downstream exports;
+* :meth:`Session.compare` — run one spec per accelerator and collect a
+  normalised :class:`~repro.core.results.ComparisonResult`.
+
+The classic helpers :func:`repro.core.api.simulate` and
+:func:`repro.core.api.compare_accelerators` are thin shims over a shared
+default session (:func:`default_session`); they behave exactly as they did
+before sessions existed (including seeding the topology with 0 when the
+dataset is given by name — see :func:`~repro.core.api.simulate`).
+
+Example::
+
+    from repro import RunSpec, Session
+
+    session = Session()
+    specs = [RunSpec(dataset="cora", accelerator=name, max_vertices=256)
+             for name in ("gcnax", "hygcn", "sgcn")]
+    results = session.run_many(specs)      # topology built once, reused 3x
+    comparison = session.compare(specs, baseline="gcnax")
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.accelerator.registry import ACCELERATORS
+from repro.accelerator.simulator import GCN_VARIANTS, AcceleratorModel
+from repro.core.config import SystemConfig
+from repro.core.results import ComparisonResult, SimulationResult
+from repro.core.runspec import RunSpec, build_config
+from repro.errors import ConfigurationError, SimulationError
+from repro.formats.registry import FORMATS
+from repro.graphs.datasets import DEFAULT_NUM_LAYERS, Dataset
+from repro.graphs.datasets import load_dataset as _load_dataset
+
+#: ``progress`` callback signature of :meth:`Session.run_many`:
+#: ``(index, spec, result)``.
+ProgressCallback = Callable[[int, RunSpec, SimulationResult], None]
+
+#: ``on_error`` callback signature of :meth:`Session.run_many`:
+#: ``(index, spec, exception)``.
+ErrorCallback = Callable[[int, RunSpec, Exception], None]
+
+
+class Session:
+    """Executes :class:`RunSpec` runs with memoized registry resolution.
+
+    Args:
+        config: Base :class:`SystemConfig` applied to every run (spec
+            overrides are layered on top); paper Table III defaults when
+            omitted.
+        max_cached_datasets: LRU capacity of the dataset cache.  Each cached
+            entry holds one scaled synthetic topology; the default comfortably
+            covers a full paper-comparison sweep.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SystemConfig] = None,
+        max_cached_datasets: int = 32,
+    ) -> None:
+        if max_cached_datasets < 1:
+            raise ConfigurationError("max_cached_datasets must be at least 1")
+        self.base_config = config
+        self.max_cached_datasets = max_cached_datasets
+        self._datasets: "OrderedDict[Tuple[str, int, int, int], Dataset]" = OrderedDict()
+        # name/format -> (accelerator factory, format name, format factory,
+        # instance).  Both factories are kept so a cache hit can detect that
+        # either registration changed underneath it (unregister(),
+        # temporary() shadowing) and not serve a stale model.
+        self._accelerators: Dict[
+            Tuple[str, Optional[str]],
+            Tuple[Callable[[], AcceleratorModel], str, Optional[object], AcceleratorModel],
+        ] = {}
+
+    # ------------------------------------------------------------------ #
+    # Memoized resolution
+    # ------------------------------------------------------------------ #
+    def load_dataset(
+        self,
+        name: str,
+        max_vertices: int = 2048,
+        num_layers: int = DEFAULT_NUM_LAYERS,
+        seed: int = 0,
+    ) -> Dataset:
+        """Memoized :func:`repro.graphs.datasets.load_dataset`.
+
+        Dataset generation is deterministic in ``(name, max_vertices,
+        num_layers, seed)``, so the cached instance is interchangeable with a
+        fresh load; repeated runs over the same dataset reuse one topology.
+        """
+        key = (name.strip().lower(), int(max_vertices), int(num_layers), int(seed))
+        cached = self._datasets.get(key)
+        if cached is not None:
+            self._datasets.move_to_end(key)
+            return cached
+        dataset = _load_dataset(
+            key[0], max_vertices=key[1], num_layers=key[2], seed=key[3]
+        )
+        self._datasets[key] = dataset
+        while len(self._datasets) > self.max_cached_datasets:
+            self._datasets.popitem(last=False)
+        return dataset
+
+    def accelerator(
+        self, name: str, feature_format: Optional[str] = None
+    ) -> AcceleratorModel:
+        """Memoized accelerator instantiation (with optional format override).
+
+        Args:
+            name: Accelerator registry name (aliases accepted).
+            feature_format: Optional format registry name replacing the
+                design's native intermediate-feature format.
+        """
+        # Consult the registries on every call (not just misses): an unknown
+        # name must raise even if a model was cached while a temporary()
+        # registration was live, and a re-registered accelerator *or format*
+        # must rebuild instead of serving a stale instance.
+        factory = ACCELERATORS.factory(name)
+        key = (
+            ACCELERATORS.canonical(name),
+            None if feature_format is None else FORMATS.canonical(feature_format),
+        )
+        cached = self._accelerators.get(key)
+        if cached is not None:
+            cached_factory, format_name, format_factory, model = cached
+            if cached_factory is factory and (
+                self._format_factory(format_name) is format_factory
+            ):
+                return model
+        model = factory()
+        if feature_format is not None:
+            model = model.use_format(feature_format)
+        format_name = FORMATS.canonical(model.feature_format_name)
+        self._accelerators[key] = (
+            factory,
+            format_name,
+            self._format_factory(format_name),
+            model,
+        )
+        return model
+
+    @staticmethod
+    def _format_factory(format_name: str) -> Optional[object]:
+        """Current registry factory of ``format_name`` (None if unregistered)."""
+        return FORMATS.factory(format_name) if format_name in FORMATS else None
+
+    def config_for(self, spec: RunSpec) -> Optional[SystemConfig]:
+        """Effective :class:`SystemConfig` of ``spec`` under this session.
+
+        ``None`` (meaning "model defaults", i.e. ``SystemConfig()``) when the
+        session has no base config and the spec carries no overrides.
+        """
+        return self._effective_config(spec, self.base_config)
+
+    @staticmethod
+    def _effective_config(
+        spec: RunSpec, base: Optional[SystemConfig]
+    ) -> Optional[SystemConfig]:
+        if spec.overrides:
+            return build_config(spec.overrides, base=base)
+        return base
+
+    def clear_caches(self) -> None:
+        """Drop every memoized dataset and accelerator instance."""
+        self._datasets.clear()
+        self._accelerators.clear()
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        spec: RunSpec,
+        *,
+        dataset: Optional[Dataset] = None,
+        accelerator: Optional[AcceleratorModel] = None,
+        config: Optional[SystemConfig] = None,
+        annotate: bool = False,
+    ) -> SimulationResult:
+        """Execute one :class:`RunSpec` and return its result.
+
+        Args:
+            spec: The run description.
+            dataset: Pre-resolved dataset; bypasses the spec's dataset
+                reference and scale cap (used by the classic API shims when
+                the caller already holds a :class:`Dataset`).
+            accelerator: Pre-resolved accelerator model; bypasses the spec's
+                accelerator reference.
+            config: Base config overriding the session's ``base_config`` for
+                this run (spec overrides still apply on top).
+            annotate: Record ``scenario_id``/``scenario`` in the result's
+                metadata (the experiment harness convention).
+        """
+        if accelerator is not None and spec.feature_format is not None:
+            raise ConfigurationError(
+                f"feature_format={spec.feature_format!r} conflicts with a "
+                "pre-resolved accelerator instance; apply the override via "
+                "Session.accelerator(name, feature_format=...) instead"
+            )
+        if dataset is None and accelerator is None:
+            spec.validate()
+        elif spec.variant not in GCN_VARIANTS:
+            # Pre-resolved components skip full validation, but the variant
+            # still reaches the simulator and must be checked here.
+            raise ConfigurationError(
+                f"unknown GCN variant {spec.variant!r}; supported variants: "
+                f"{', '.join(GCN_VARIANTS)}"
+            )
+        dataset_obj = (
+            dataset
+            if dataset is not None
+            else self.load_dataset(
+                spec.dataset,
+                max_vertices=spec.max_vertices,
+                num_layers=spec.num_layers,
+                seed=spec.seed,
+            )
+        )
+        model = (
+            accelerator
+            if accelerator is not None
+            else self.accelerator(spec.accelerator, feature_format=spec.feature_format)
+        )
+        effective = self._effective_config(
+            spec, config if config is not None else self.base_config
+        )
+        result = model.simulate(
+            dataset_obj,
+            config=effective,
+            variant=spec.variant,
+            max_sampled_layers=spec.max_sampled_layers,
+            seed=spec.seed,
+        )
+        if annotate:
+            result.metadata["scenario_id"] = spec.scenario_id
+            result.metadata["scenario"] = spec.to_dict()
+        return result
+
+    def run_many(
+        self,
+        specs: Sequence[RunSpec],
+        *,
+        annotate: bool = True,
+        progress: Optional[ProgressCallback] = None,
+        on_error: Optional[ErrorCallback] = None,
+    ) -> List[Optional[SimulationResult]]:
+        """Execute a batch of specs, reusing memoized datasets/accelerators.
+
+        Args:
+            specs: Run descriptions, executed in order.
+            annotate: Record each spec's identity in its result metadata.
+            progress: Called as ``(index, spec, result)`` after each success.
+            on_error: Called as ``(index, spec, exception)`` when a run fails;
+                the failed slot becomes ``None`` and the batch continues.
+                Without it the first failure propagates.
+
+        Returns:
+            One result per spec (``None`` for isolated failures).
+        """
+        results: List[Optional[SimulationResult]] = []
+        for index, spec in enumerate(specs):
+            try:
+                result = self.run(spec, annotate=annotate)
+            except Exception as exc:  # noqa: BLE001 — isolation is opt-in
+                if on_error is None:
+                    raise
+                on_error(index, spec, exc)
+                results.append(None)
+                continue
+            if progress is not None:
+                progress(index, spec, result)
+            results.append(result)
+        return results
+
+    def compare(
+        self, specs: Sequence[RunSpec], baseline: str = "gcnax"
+    ) -> ComparisonResult:
+        """Run one spec per accelerator and collect a comparison.
+
+        The baseline is checked against the specs' accelerators *before* any
+        simulation runs, so a typo fails in milliseconds instead of after the
+        whole batch.
+
+        Raises:
+            SimulationError: If ``specs`` is empty, spans more than one
+                dataset, repeats an accelerator (the comparison is keyed by
+                accelerator, so a duplicate would silently drop a run), or
+                ``baseline`` is not among the specs' accelerators.
+        """
+        specs = list(specs)
+        if not specs:
+            raise SimulationError("compare() needs at least one run spec")
+        datasets = {spec.dataset for spec in specs}
+        if len(datasets) > 1:
+            raise SimulationError(
+                "compare() needs every spec on the same dataset; got "
+                f"{', '.join(sorted(datasets))}"
+            )
+        names = [spec.accelerator for spec in specs]
+        if len(set(names)) != len(names):
+            raise SimulationError(
+                "compare() needs one spec per accelerator; got duplicates in "
+                f"{names}"
+            )
+        baseline_key = ACCELERATORS.canonical(baseline)
+        if baseline_key not in names:
+            raise SimulationError(
+                f"baseline {baseline!r} was not among the simulated accelerators"
+            )
+        comparison = ComparisonResult(dataset=specs[0].dataset, baseline=baseline_key)
+        for result in self.run_many(specs, annotate=False):
+            assert result is not None  # run_many without on_error raises
+            comparison.add(result)
+        return comparison
+
+    def run_pack(
+        self,
+        name: str,
+        max_vertices: Optional[int] = None,
+        *,
+        progress: Optional[ProgressCallback] = None,
+        on_error: Optional[ErrorCallback] = None,
+    ) -> List[Tuple[RunSpec, Optional[SimulationResult]]]:
+        """Expand a built-in scenario pack and run it through this session.
+
+        A convenience wrapper over :meth:`run_many` for interactive use; the
+        multiprocessing sweep path with result caching remains
+        :class:`repro.experiments.runner.SweepRunner`.
+        """
+        # Imported lazily: repro.experiments sits above repro.core.
+        from repro.experiments.scenarios import get_pack
+
+        specs = get_pack(name, max_vertices=max_vertices).expand()
+        results = self.run_many(specs, progress=progress, on_error=on_error)
+        return list(zip(specs, results))
+
+
+_DEFAULT_SESSION: Optional[Session] = None
+
+
+def default_session() -> Session:
+    """The process-wide session backing the classic ``simulate()`` shims."""
+    global _DEFAULT_SESSION
+    if _DEFAULT_SESSION is None:
+        _DEFAULT_SESSION = Session()
+    return _DEFAULT_SESSION
+
+
+def reset_default_session() -> None:
+    """Drop the process-wide default session (tests, long-lived processes)."""
+    global _DEFAULT_SESSION
+    _DEFAULT_SESSION = None
+
+
+__all__ = [
+    "Session",
+    "default_session",
+    "reset_default_session",
+]

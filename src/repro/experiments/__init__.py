@@ -39,6 +39,7 @@ from repro.experiments.scenarios import (
 )
 from repro.experiments.spec import (
     SUPPORTED_OVERRIDES,
+    RunSpec,
     Scenario,
     SweepSpec,
     build_config,
@@ -61,6 +62,7 @@ __all__ = [
     "available_packs",
     "get_pack",
     "SUPPORTED_OVERRIDES",
+    "RunSpec",
     "Scenario",
     "SweepSpec",
     "build_config",

@@ -5,7 +5,10 @@ Subcommands:
 * ``list`` — show the built-in scenario packs, datasets, and accelerators;
 * ``run`` — simulate one scenario and print its summary;
 * ``sweep`` — expand a scenario pack and run it across a worker pool with
-  result caching, writing per-scenario JSON plus a merged summary CSV;
+  result caching, writing per-scenario JSON plus a merged summary CSV
+  (execution is session-based: ``--workers 1`` batches the pack through
+  :meth:`repro.core.session.Session.run_many`, reusing datasets across
+  scenarios);
 * ``export`` — merge a directory of per-scenario JSON documents (sweep
   output or the cache store) into one CSV/JSON summary table.
 """
@@ -22,6 +25,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.accelerator.registry import available_accelerators
 from repro.accelerator.simulator import GCN_VARIANTS
 from repro.errors import ReproError
+from repro.formats.registry import available_formats
 from repro.experiments.runner import RunOutcome, SweepRunner, run_scenario
 from repro.experiments.scenarios import SCENARIO_PACKS, available_packs, get_pack
 from repro.experiments.spec import SUPPORTED_OVERRIDES, Scenario
@@ -71,6 +75,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument(
         "--layers", type=int, default=DEFAULT_NUM_LAYERS, help="GCN depth"
+    )
+    run_parser.add_argument(
+        "--feature-format",
+        default=None,
+        help=(
+            "replace the accelerator's native intermediate-feature format "
+            f"with a registry format ({', '.join(available_formats())})"
+        ),
     )
     run_parser.add_argument(
         "--set",
@@ -164,6 +176,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
     print()
     print(f"Datasets:     {', '.join(sorted(DATASET_SPECS))}")
     print(f"Accelerators: {', '.join(available_accelerators())}")
+    print(f"Formats:      {', '.join(available_formats())}")
     print(f"Variants:     {', '.join(GCN_VARIANTS)}")
     print(f"Overrides:    {', '.join(SUPPORTED_OVERRIDES)}")
     return 0
@@ -178,6 +191,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         max_vertices=args.max_vertices,
         num_layers=args.layers,
         overrides=_parse_overrides(args.overrides),
+        feature_format=args.feature_format,
     )
     result = run_scenario(scenario)
     if args.json:

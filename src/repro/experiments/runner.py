@@ -13,6 +13,12 @@ objects into :class:`RunOutcome` records:
 * each worker run is wrapped in its own try/except, so one failing scenario
   reports an error outcome instead of killing the sweep.
 
+Execution itself is delegated to :class:`repro.core.session.Session`: the
+serial path batches the pending scenarios through
+:meth:`~repro.core.session.Session.run_many`, and every worker process keeps
+its own session, so scenarios that share a dataset reuse one generated
+topology instead of rebuilding it per run.
+
 Everything the simulation depends on is seeded from the scenario, so serial
 and parallel sweeps of the same spec produce identical summaries.
 """
@@ -26,44 +32,45 @@ import traceback
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.api import simulate
 from repro.core.results import SimulationResult
+from repro.core.session import Session, default_session
 from repro.errors import ConfigurationError
 from repro.experiments.spec import Scenario
 from repro.experiments.store import ResultStore
-from repro.graphs.datasets import load_dataset
 
 logger = logging.getLogger(__name__)
 
 ProgressCallback = Callable[["RunOutcome", int, int], None]
 
 
-def run_scenario(scenario: Scenario) -> SimulationResult:
+def run_scenario(
+    scenario: Scenario, session: Optional[Session] = None
+) -> SimulationResult:
     """Execute one scenario in the current process.
 
     The dataset topology, the per-row sparsity draws, and the layer-sampling
     budget are all derived from the scenario, so repeated calls are
     bit-identical.  The scenario's identity is recorded in the result's
     metadata for downstream exports.
+
+    Args:
+        scenario: The run to execute (validated against the registries).
+        session: Session to execute under; the process-wide default session
+            when omitted, so repeated calls share memoized datasets.
     """
-    scenario.validate()
-    dataset = load_dataset(
-        scenario.dataset,
-        max_vertices=scenario.max_vertices,
-        num_layers=scenario.num_layers,
-        seed=scenario.seed,
-    )
-    result = simulate(
-        dataset,
-        scenario.accelerator,
-        config=scenario.build_config(),
-        variant=scenario.variant,
-        max_sampled_layers=scenario.max_sampled_layers,
-        seed=scenario.seed,
-    )
-    result.metadata["scenario_id"] = scenario.scenario_id
-    result.metadata["scenario"] = scenario.to_dict()
-    return result
+    return (session or default_session()).run(scenario, annotate=True)
+
+
+#: Per-worker-process session, so the scenarios of one pool chunk reuse
+#: memoized datasets (created lazily inside the worker, never inherited).
+_WORKER_SESSION: Optional[Session] = None
+
+
+def _worker_session() -> Session:
+    global _WORKER_SESSION
+    if _WORKER_SESSION is None:
+        _WORKER_SESSION = Session()
+    return _WORKER_SESSION
 
 
 def _worker_execute(payload: Tuple[int, Dict[str, object]]) -> Tuple[int, Dict[str, object]]:
@@ -72,7 +79,7 @@ def _worker_execute(payload: Tuple[int, Dict[str, object]]) -> Tuple[int, Dict[s
     started = time.perf_counter()
     try:
         scenario = Scenario.from_dict(scenario_dict)
-        result = run_scenario(scenario)
+        result = run_scenario(scenario, session=_worker_session())
         return index, {
             "ok": True,
             "result": result.to_dict(),
@@ -249,9 +256,49 @@ class SweepRunner:
         pending: Sequence[Tuple[int, Scenario]],
         record: Callable[[int, RunOutcome], None],
     ) -> None:
-        for index, scenario in pending:
-            _, payload = _worker_execute((index, scenario.to_dict()))
+        """Run the pending scenarios through one :meth:`Session.run_many` batch.
+
+        Results take the same ``to_dict()``/``from_dict()`` round-trip as pool
+        payloads, so serial and parallel sweeps reconstruct identical result
+        objects; per-scenario failures are isolated via the session's
+        ``on_error`` hook (KeyboardInterrupt/SystemExit still abort).
+        """
+        session = Session()
+        # The callbacks fire right after each run; elapsed is measured from
+        # the previous callback's *exit*, so store writes / progress work done
+        # inside _finish are not attributed to the following scenario.
+        timer = [time.perf_counter()]
+
+        def on_done(position: int, spec: Scenario, result: SimulationResult) -> None:
+            elapsed = time.perf_counter() - timer[0]
+            index, scenario = pending[position]
+            payload: Dict[str, object] = {
+                "ok": True,
+                "result": result.to_dict(),
+                "elapsed_s": elapsed,
+            }
             self._finish(index, scenario, payload, record)
+            timer[0] = time.perf_counter()
+
+        def on_error(position: int, spec: Scenario, exc: Exception) -> None:
+            elapsed = time.perf_counter() - timer[0]
+            index, scenario = pending[position]
+            payload: Dict[str, object] = {
+                "ok": False,
+                "error": "".join(
+                    traceback.format_exception(type(exc), exc, exc.__traceback__)
+                ),
+                "elapsed_s": elapsed,
+            }
+            self._finish(index, scenario, payload, record)
+            timer[0] = time.perf_counter()
+
+        session.run_many(
+            [scenario for _, scenario in pending],
+            annotate=True,
+            progress=on_done,
+            on_error=on_error,
+        )
 
     def _run_pool(
         self,

@@ -1,261 +1,36 @@
 """Declarative experiment specifications.
 
-A :class:`Scenario` is one fully-determined simulation run — dataset,
-accelerator, GCN variant, seed, scale caps, network depth, and a flat set of
-:class:`~repro.core.config.SystemConfig` overrides.  Scenarios are plain data:
-they serialise to JSON, hash deterministically (for the result cache), and
-pickle cheaply (for the multiprocessing sweep runner).
+A :class:`Scenario` is one fully-determined simulation run.  Historically
+this module owned that dataclass; it is now literally the canonical
+:class:`repro.core.runspec.RunSpec` — ``Scenario`` is an alias, kept so
+experiment code, cached sweep output, and pickled payloads keep working while
+validation, identity (``scenario_id``), and ``to_dict``/``from_dict`` exist
+exactly once in :mod:`repro.core.runspec`.
 
 A :class:`SweepSpec` declares axes (datasets x accelerators x variants x
 seeds x depths x config overrides) and expands them into the cartesian grid
-of scenarios, validating every axis value up front so a sweep fails before
+of run specs, validating every axis value up front so a sweep fails before
 the first simulation rather than hours in.
 """
 
 from __future__ import annotations
 
-import hashlib
 import itertools
-import json
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Sequence
 
-from repro.accelerator.registry import ACCELERATOR_ALIASES, get_accelerator
-from repro.accelerator.simulator import GCN_VARIANTS
-from repro.core.config import HBM1, HBM2, DRAMConfig, SystemConfig
-from repro.errors import ConfigurationError
-from repro.graphs.datasets import DATASET_SPECS, DEFAULT_NUM_LAYERS
-
-#: Named DRAM generations accepted by the ``"dram"`` override.
-DRAM_GENERATIONS: Dict[str, DRAMConfig] = {"hbm1": HBM1, "hbm2": HBM2}
-
-#: Flat SystemConfig override keys accepted by :meth:`Scenario.build_config`.
-SUPPORTED_OVERRIDES: Tuple[str, ...] = (
-    "cache_capacity_bytes",
-    "cache_ways",
-    "num_engines",
-    "num_aggregation_engines",
-    "num_combination_engines",
-    "frequency_ghz",
-    "simd_width",
-    "systolic_rows",
-    "systolic_cols",
-    "dram",
-    "dram_bandwidth_gbps",
-    "sgcn_slice_size",
-    "sac_strip_height",
-    "pipeline_phases",
+from repro.core.runspec import (
+    DRAM_GENERATIONS,
+    SUPPORTED_OVERRIDES,
+    RunSpec,
+    build_config,
 )
+from repro.errors import ConfigurationError
+from repro.graphs.datasets import DEFAULT_NUM_LAYERS
 
-
-def _normalise_overrides(overrides: Mapping[str, object]) -> Dict[str, object]:
-    """Validate override keys and return a plain, sorted dictionary."""
-    unknown = sorted(set(overrides) - set(SUPPORTED_OVERRIDES))
-    if unknown:
-        raise ConfigurationError(
-            f"unknown SystemConfig override(s) {unknown}; supported: "
-            f"{', '.join(SUPPORTED_OVERRIDES)}"
-        )
-    return {key: overrides[key] for key in sorted(overrides)}
-
-
-def build_config(
-    overrides: Mapping[str, object], base: Optional[SystemConfig] = None
-) -> SystemConfig:
-    """Apply flat override keys to a base :class:`SystemConfig`.
-
-    The frozen config dataclasses perform their own validation, so illegal
-    combinations (e.g. a cache capacity that is not a multiple of
-    ``ways * line_bytes``) surface as :class:`ConfigurationError` here rather
-    than mid-sweep.
-    """
-    overrides = _normalise_overrides(overrides)
-    config = base or SystemConfig()
-    engines = config.engines
-    cache = config.cache
-    dram = config.dram
-
-    if "num_engines" in overrides:
-        count = int(overrides["num_engines"])
-        engines = replace(
-            engines,
-            num_aggregation_engines=count,
-            num_combination_engines=count,
-        )
-    for key in ("num_aggregation_engines", "num_combination_engines"):
-        if key in overrides:
-            engines = replace(engines, **{key: int(overrides[key])})
-    for key in ("simd_width", "systolic_rows", "systolic_cols"):
-        if key in overrides:
-            engines = replace(engines, **{key: int(overrides[key])})
-    if "frequency_ghz" in overrides:
-        engines = replace(engines, frequency_ghz=float(overrides["frequency_ghz"]))
-
-    if "cache_capacity_bytes" in overrides:
-        cache = replace(cache, capacity_bytes=int(overrides["cache_capacity_bytes"]))
-    if "cache_ways" in overrides:
-        cache = replace(cache, ways=int(overrides["cache_ways"]))
-
-    if "dram" in overrides:
-        name = str(overrides["dram"]).lower()
-        if name not in DRAM_GENERATIONS:
-            raise ConfigurationError(
-                f"unknown DRAM generation {overrides['dram']!r}; "
-                f"choose from {', '.join(sorted(DRAM_GENERATIONS))}"
-            )
-        dram = DRAM_GENERATIONS[name]
-    if "dram_bandwidth_gbps" in overrides:
-        dram = replace(
-            dram, peak_bandwidth_gbps=float(overrides["dram_bandwidth_gbps"])
-        )
-
-    config = replace(config, engines=engines, cache=cache, dram=dram)
-    if "sgcn_slice_size" in overrides:
-        config = replace(config, sgcn_slice_size=int(overrides["sgcn_slice_size"]))
-    if "sac_strip_height" in overrides:
-        config = replace(config, sac_strip_height=int(overrides["sac_strip_height"]))
-    if "pipeline_phases" in overrides:
-        config = replace(config, pipeline_phases=bool(overrides["pipeline_phases"]))
-    return config
-
-
-@dataclass(frozen=True)
-class Scenario:
-    """One fully-determined simulation run.
-
-    Attributes:
-        dataset: Dataset key (``"cora"``, ... — see Table II).
-        accelerator: Accelerator registry name (``"sgcn"``, ``"gcnax"``, ...).
-        variant: Aggregation variant (``"gcn"``, ``"gin"``, ``"sage"``).
-        seed: Seed for topology generation and per-row sparsity draws.
-        max_vertices: Scale cap applied when loading the dataset.
-        max_sampled_layers: Representative-layer sampling budget.
-        num_layers: GCN depth (paper default 28).
-        overrides: Flat :class:`SystemConfig` overrides (see
-            :data:`SUPPORTED_OVERRIDES`); empty means Table III defaults.
-        tag: Optional free-form label carried into exports (e.g. the sweep
-            axis value the scenario represents).
-    """
-
-    dataset: str
-    accelerator: str
-    variant: str = "gcn"
-    seed: int = 0
-    max_vertices: int = 2048
-    max_sampled_layers: int = 6
-    num_layers: int = DEFAULT_NUM_LAYERS
-    overrides: Mapping[str, object] = field(default_factory=dict)
-    tag: str = ""
-
-    def __post_init__(self) -> None:
-        object.__setattr__(self, "dataset", self.dataset.strip().lower())
-        # Fold accelerator spellings to the canonical registry key (including
-        # aliases) so e.g. "i-gcn" and "igcn" share one scenario identity and
-        # cache entry.
-        accelerator = (
-            self.accelerator.strip().lower().replace("-", "_").replace(" ", "_")
-        )
-        accelerator = ACCELERATOR_ALIASES.get(accelerator, accelerator)
-        object.__setattr__(self, "accelerator", accelerator)
-        object.__setattr__(self, "variant", self.variant.strip().lower())
-        object.__setattr__(self, "overrides", dict(self.overrides))
-
-    def __hash__(self) -> int:
-        # The frozen dataclass's generated __hash__ would hash the overrides
-        # dict and raise; hash the canonical identity instead so scenarios
-        # work in sets and as dict keys (consistent with field equality:
-        # equal scenarios have equal keys, hence equal hashes).
-        return hash((self.scenario_id, self.tag))
-
-    # ------------------------------------------------------------------ #
-    def validate(self) -> "Scenario":
-        """Check every field against the library's registries.
-
-        Returns ``self`` so the call chains; raises
-        :class:`ConfigurationError` on the first problem.
-        """
-        if self.dataset not in DATASET_SPECS:
-            raise ConfigurationError(
-                f"unknown dataset {self.dataset!r}; available: "
-                f"{', '.join(sorted(DATASET_SPECS))}"
-            )
-        get_accelerator(self.accelerator)
-        if self.variant not in GCN_VARIANTS:
-            raise ConfigurationError(
-                f"unknown GCN variant {self.variant!r}; supported: "
-                f"{', '.join(GCN_VARIANTS)}"
-            )
-        if self.num_layers <= 0:
-            raise ConfigurationError("num_layers must be positive")
-        if self.max_vertices < 2:
-            raise ConfigurationError("max_vertices must be at least 2")
-        if self.max_sampled_layers <= 0:
-            raise ConfigurationError("max_sampled_layers must be positive")
-        build_config(self.overrides)
-        return self
-
-    def build_config(self, base: Optional[SystemConfig] = None) -> SystemConfig:
-        """The :class:`SystemConfig` this scenario runs under."""
-        return build_config(self.overrides, base=base)
-
-    # ------------------------------------------------------------------ #
-    def key(self) -> Dict[str, object]:
-        """Canonical mapping that determines the scenario's identity.
-
-        Everything that can change the simulation output is included; the
-        display-only ``tag`` is not.
-        """
-        return {
-            "dataset": self.dataset,
-            "accelerator": self.accelerator,
-            "variant": self.variant,
-            "seed": int(self.seed),
-            "max_vertices": int(self.max_vertices),
-            "max_sampled_layers": int(self.max_sampled_layers),
-            "num_layers": int(self.num_layers),
-            "overrides": _normalise_overrides(self.overrides),
-        }
-
-    @property
-    def scenario_id(self) -> str:
-        """Deterministic 12-hex-digit identity derived from :meth:`key`."""
-        payload = json.dumps(self.key(), sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:12]
-
-    def label(self) -> str:
-        """Human-readable one-line description used in logs."""
-        parts = [self.dataset, self.accelerator]
-        if self.variant != "gcn":
-            parts.append(self.variant)
-        if self.num_layers != DEFAULT_NUM_LAYERS:
-            parts.append(f"L{self.num_layers}")
-        if self.seed:
-            parts.append(f"seed{self.seed}")
-        for key, value in sorted(self.overrides.items()):
-            parts.append(f"{key}={value}")
-        return "/".join(str(part) for part in parts)
-
-    # ------------------------------------------------------------------ #
-    def to_dict(self) -> Dict[str, object]:
-        """Round-trip serialisation (see :meth:`from_dict`)."""
-        data = self.key()
-        data["tag"] = self.tag
-        return data
-
-    @classmethod
-    def from_dict(cls, data: Mapping[str, object]) -> "Scenario":
-        """Rebuild a scenario produced by :meth:`to_dict`."""
-        return cls(
-            dataset=str(data["dataset"]),
-            accelerator=str(data["accelerator"]),
-            variant=str(data.get("variant", "gcn")),
-            seed=int(data.get("seed", 0)),
-            max_vertices=int(data.get("max_vertices", 2048)),
-            max_sampled_layers=int(data.get("max_sampled_layers", 6)),
-            num_layers=int(data.get("num_layers", DEFAULT_NUM_LAYERS)),
-            overrides=dict(data.get("overrides", {})),
-            tag=str(data.get("tag", "")),
-        )
+#: One fully-determined simulation run — the canonical
+#: :class:`repro.core.runspec.RunSpec` under its historical experiment name.
+Scenario = RunSpec
 
 
 @dataclass(frozen=True)
@@ -329,14 +104,14 @@ class SweepSpec:
         )
 
     def expand(self, validate: bool = True) -> List[Scenario]:
-        """Expand the axes into the cartesian grid of scenarios.
+        """Expand the axes into the cartesian grid of run specs.
 
         Args:
-            validate: Check every scenario against the registries (datasets,
+            validate: Check every spec against the registries (datasets,
                 accelerators, variants, config legality) before returning.
 
         Returns:
-            The scenarios in deterministic axis order (overrides outermost,
+            The specs in deterministic axis order (overrides outermost,
             then dataset, accelerator, variant, seed, depth).
         """
         scenarios: List[Scenario] = []
@@ -411,6 +186,7 @@ class SweepSpec:
 __all__ = [
     "DRAM_GENERATIONS",
     "SUPPORTED_OVERRIDES",
+    "RunSpec",
     "Scenario",
     "SweepSpec",
     "build_config",

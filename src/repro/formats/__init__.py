@@ -16,7 +16,14 @@ from repro.formats.coo import COOFeatureFormat
 from repro.formats.bsr import BSRFeatureFormat
 from repro.formats.blocked_ellpack import BlockedEllpackFormat
 from repro.formats.beicsr import BEICSRFormat
-from repro.formats.registry import available_formats, get_format, register_format
+from repro.formats.registry import (
+    FORMATS,
+    available_formats,
+    get_format,
+    register_format,
+    temporary_format,
+    unregister_format,
+)
 
 __all__ = [
     "CACHELINE_BYTES",
@@ -31,7 +38,10 @@ __all__ = [
     "BSRFeatureFormat",
     "BlockedEllpackFormat",
     "BEICSRFormat",
+    "FORMATS",
     "available_formats",
     "get_format",
     "register_format",
+    "temporary_format",
+    "unregister_format",
 ]

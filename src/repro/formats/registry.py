@@ -2,12 +2,15 @@
 
 The experiment harness refers to formats by short names (as the paper's
 Fig. 3 legend does); this module maps those names to configured format
-instances and lets users register their own formats for comparison.
+instances and lets users register their own formats for comparison.  It is a
+thin instantiation of the generic :class:`repro.registry.Registry`, so
+formats and accelerators share one extension mechanism (aliases, case
+folding, ``register``/``unregister``/``temporary``).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
 from repro.errors import FormatError
 from repro.formats.base import FeatureFormat
@@ -17,22 +20,25 @@ from repro.formats.bsr import BSRFeatureFormat
 from repro.formats.coo import COOFeatureFormat
 from repro.formats.csr import CSRFeatureFormat
 from repro.formats.dense import DenseFormat
+from repro.registry import Registry
 
-_FACTORIES: Dict[str, Callable[[], FeatureFormat]] = {
-    "dense": DenseFormat,
-    "csr": CSRFeatureFormat,
-    "coo": COOFeatureFormat,
-    "bsr": BSRFeatureFormat,
-    "blocked_ellpack": BlockedEllpackFormat,
-    "beicsr": lambda: BEICSRFormat(slice_size=96),
-    "beicsr_nonsliced": lambda: BEICSRFormat(slice_size=None),
-    "beicsr_packed": lambda: BEICSRFormat(slice_size=96, in_place=False),
-}
+#: The feature-format family registry (the single extension point for new
+#: format backends).
+FORMATS: Registry[FeatureFormat] = Registry("format", FormatError)
+
+FORMATS.register("dense", DenseFormat)
+FORMATS.register("csr", CSRFeatureFormat)
+FORMATS.register("coo", COOFeatureFormat)
+FORMATS.register("bsr", BSRFeatureFormat)
+FORMATS.register("blocked_ellpack", BlockedEllpackFormat)
+FORMATS.register("beicsr", lambda: BEICSRFormat(slice_size=96))
+FORMATS.register("beicsr_nonsliced", lambda: BEICSRFormat(slice_size=None))
+FORMATS.register("beicsr_packed", lambda: BEICSRFormat(slice_size=96, in_place=False))
 
 
 def available_formats() -> List[str]:
     """Names of all registered feature formats."""
-    return sorted(_FACTORIES)
+    return FORMATS.names()
 
 
 def register_format(name: str, factory: Callable[[], FeatureFormat]) -> None:
@@ -41,10 +47,17 @@ def register_format(name: str, factory: Callable[[], FeatureFormat]) -> None:
     Raises:
         FormatError: If ``name`` is already registered.
     """
-    key = name.lower()
-    if key in _FACTORIES:
-        raise FormatError(f"format {name!r} is already registered")
-    _FACTORIES[key] = factory
+    FORMATS.register(name, factory)
+
+
+def unregister_format(name: str) -> None:
+    """Remove a registered format (see :meth:`Registry.unregister`)."""
+    FORMATS.unregister(name)
+
+
+def temporary_format(name: str, factory: Callable[[], FeatureFormat]):
+    """Context manager registering a format for a ``with`` block only."""
+    return FORMATS.temporary(name, factory)
 
 
 def get_format(name: str, slice_size: Optional[int] = None) -> FeatureFormat:
@@ -55,12 +68,17 @@ def get_format(name: str, slice_size: Optional[int] = None) -> FeatureFormat:
         slice_size: Override the BEICSR unit slice size (ignored by other
             formats).
     """
-    key = name.lower()
-    if key not in _FACTORIES:
-        raise FormatError(
-            f"unknown format {name!r}; available: {', '.join(available_formats())}"
-        )
-    instance = _FACTORIES[key]()
+    instance = FORMATS.get(name)
     if slice_size is not None and isinstance(instance, BEICSRFormat) and instance.slice_size:
         instance = BEICSRFormat(slice_size=slice_size, in_place=instance.in_place)
     return instance
+
+
+__all__ = [
+    "FORMATS",
+    "available_formats",
+    "get_format",
+    "register_format",
+    "temporary_format",
+    "unregister_format",
+]

@@ -1,0 +1,201 @@
+"""Generic name-to-factory registry shared by every pluggable subsystem.
+
+The library exposes several families of pluggable components — accelerator
+models and sparse feature formats today, more backends tomorrow.  Each family
+needs the same machinery: case/dash/space folding, alternative spellings
+(aliases), registration of user extensions, a consistent "unknown name" error,
+and a way for tests to register a component *temporarily* without leaking
+global state into the next test module.  :class:`Registry` implements that
+machinery once; :mod:`repro.accelerator.registry` and
+:mod:`repro.formats.registry` are thin instantiations of it.
+
+Example::
+
+    from repro.registry import Registry
+
+    WIDGETS: Registry[Widget] = Registry("widget")
+    WIDGETS.register("fancy", FancyWidget, aliases=("fw",))
+    WIDGETS.get("Fancy")          # case-insensitive
+    WIDGETS.get("fw")             # alias
+    with WIDGETS.temporary("mock", MockWidget):
+        ...                       # visible only inside the block
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import (
+    Callable,
+    Dict,
+    Generic,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Type,
+    TypeVar,
+)
+
+from repro.errors import ConfigurationError, ReproError
+
+T = TypeVar("T")
+
+
+class Registry(Generic[T]):
+    """A case-folding registry mapping names (and aliases) to factories.
+
+    Args:
+        kind: Human-readable component family name used in error messages
+            (e.g. ``"accelerator"``, ``"format"``).
+        error_cls: :class:`~repro.errors.ReproError` subclass raised for
+            unknown names and duplicate registrations, so each family keeps
+            its established exception type.
+    """
+
+    def __init__(
+        self, kind: str, error_cls: Type[ReproError] = ConfigurationError
+    ) -> None:
+        self.kind = kind
+        self.error_cls = error_cls
+        self._factories: Dict[str, Callable[[], T]] = {}
+        self._aliases: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # Name resolution
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def fold(name: str) -> str:
+        """Normalise spelling: lower-case, dashes/spaces become underscores."""
+        return name.strip().lower().replace("-", "_").replace(" ", "_")
+
+    def canonical(self, name: str) -> str:
+        """The canonical registry key ``name`` resolves to.
+
+        Folds case/dashes/spaces and follows aliases; never raises, so it is
+        safe to use for identity folding before a name is validated.
+        """
+        key = self.fold(name)
+        return self._aliases.get(key, key)
+
+    def __contains__(self, name: str) -> bool:
+        return self.canonical(name) in self._factories
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    def names(self) -> List[str]:
+        """Sorted canonical names of every registered component."""
+        return sorted(self._factories)
+
+    def aliases(self) -> Dict[str, str]:
+        """Copy of the alias map (alias key -> canonical name)."""
+        return dict(self._aliases)
+
+    # ------------------------------------------------------------------ #
+    # Registration
+    # ------------------------------------------------------------------ #
+    def register(
+        self,
+        name: str,
+        factory: Callable[[], T],
+        *,
+        aliases: Sequence[str] = (),
+        overwrite: bool = False,
+    ) -> None:
+        """Register ``factory`` under ``name`` (plus optional ``aliases``).
+
+        Raises:
+            error_cls: If ``name`` (or an alias) collides with an existing
+                name or alias and ``overwrite`` is false.
+        """
+        key = self.fold(name)
+        if not overwrite and (key in self._factories or key in self._aliases):
+            raise self.error_cls(f"{self.kind} {name!r} is already registered")
+        # Validate every alias before mutating anything, so a collision cannot
+        # leave a half-registered component behind.
+        alias_keys = []
+        for alias in aliases:
+            alias_key = self.fold(alias)
+            if alias_key == key or alias_key in alias_keys:
+                continue
+            taken = alias_key in self._factories or alias_key in self._aliases
+            if not overwrite and taken:
+                raise self.error_cls(
+                    f"{self.kind} alias {alias!r} is already registered"
+                )
+            alias_keys.append(alias_key)
+        self._aliases.pop(key, None)
+        self._factories[key] = factory
+        for alias_key in alias_keys:
+            # Only reachable with overwrite=True: an alias taking over an
+            # existing canonical name must also evict that factory, or it
+            # would linger in names() while being unreachable.
+            self._factories.pop(alias_key, None)
+            self._aliases[alias_key] = key
+
+    def unregister(self, name: str) -> None:
+        """Remove ``name`` (and any aliases pointing at it).
+
+        Raises:
+            error_cls: If ``name`` is not registered.
+        """
+        key = self.canonical(name)
+        if key not in self._factories:
+            raise self.error_cls(
+                f"cannot unregister unknown {self.kind} {name!r}; "
+                f"available: {', '.join(self.names())}"
+            )
+        del self._factories[key]
+        for alias in [a for a, target in self._aliases.items() if target == key]:
+            del self._aliases[alias]
+
+    @contextmanager
+    def temporary(
+        self, name: str, factory: Callable[[], T]
+    ) -> Iterator[Callable[[], T]]:
+        """Register ``factory`` for the duration of a ``with`` block.
+
+        An existing registration under the same name — including a name
+        reached through an alias, e.g. ``"awb-gcn"`` — is shadowed and
+        restored on exit, so tests can plug in mocks without leaking state::
+
+            with ACCELERATORS.temporary("mock", MockModel):
+                simulate("cora", "mock")
+        """
+        key = self.canonical(name)
+        previous: Optional[Callable[[], T]] = self._factories.get(key)
+        self._factories[key] = factory
+        try:
+            yield factory
+        finally:
+            if previous is None:
+                self._factories.pop(key, None)
+            else:
+                self._factories[key] = previous
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def factory(self, name: str) -> Callable[[], T]:
+        """The registered factory for ``name``.
+
+        Raises:
+            error_cls: If ``name`` is not registered.
+        """
+        key = self.canonical(name)
+        if key not in self._factories:
+            raise self.error_cls(
+                f"unknown {self.kind} {name!r}; available: {', '.join(self.names())}"
+            )
+        return self._factories[key]
+
+    def get(self, name: str) -> T:
+        """Instantiate the component registered under ``name``.
+
+        Raises:
+            error_cls: If ``name`` is not registered.
+        """
+        return self.factory(name)()
+
+
+__all__ = ["Registry"]

@@ -63,3 +63,24 @@ def test_variant_is_case_insensitive(tiny_dataset):
 def test_unknown_accelerator_raises(tiny_dataset):
     with pytest.raises(ConfigurationError, match="unknown accelerator"):
         simulate(tiny_dataset, "tpu")
+
+
+def test_explicit_cap_with_dataset_instance_raises(tiny_dataset):
+    # Historically max_vertices was silently dropped when a Dataset instance
+    # was passed; now the contradiction is an error.
+    with pytest.raises(ConfigurationError, match="max_vertices"):
+        simulate(tiny_dataset, "sgcn", max_vertices=128)
+    with pytest.raises(ConfigurationError, match="max_vertices"):
+        compare_accelerators(tiny_dataset, ["sgcn"], baseline="sgcn",
+                             max_vertices=128)
+
+
+def test_compare_baseline_checked_before_any_simulation(tiny_dataset, monkeypatch):
+    from repro.accelerator.simulator import AcceleratorModel
+
+    def explode(self, *args, **kwargs):
+        raise AssertionError("simulated before baseline validation")
+
+    monkeypatch.setattr(AcceleratorModel, "simulate", explode)
+    with pytest.raises(SimulationError, match="baseline 'gcnax' was not among"):
+        compare_accelerators(tiny_dataset, ["sgcn", "hygcn"], baseline="gcnax")

@@ -76,12 +76,12 @@ def test_failing_scenario_does_not_kill_the_sweep(tmp_path):
 
 
 def test_keyboard_interrupt_aborts_serial_sweep(monkeypatch):
-    import repro.experiments.runner as runner_module
+    from repro.core.session import Session
 
-    def interrupt(scenario):
+    def interrupt(self, spec, **kwargs):
         raise KeyboardInterrupt
 
-    monkeypatch.setattr(runner_module, "run_scenario", interrupt)
+    monkeypatch.setattr(Session, "run", interrupt)
     scenario = Scenario(dataset="cora", accelerator="sgcn", **TINY)
     with pytest.raises(KeyboardInterrupt):
         SweepRunner(workers=1).run([scenario])

@@ -1,0 +1,374 @@
+"""RunSpec/Session API: validation, round-trips, memoization, shim parity."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.core.session as session_module
+from repro import RunSpec, Session, compare_accelerators, simulate
+from repro.errors import ConfigurationError, FormatError, SimulationError
+from repro.graphs.datasets import load_dataset
+
+TINY = dict(max_vertices=64, num_layers=4)
+
+
+# --------------------------------------------------------------------------- #
+# RunSpec validation and serialisation
+# --------------------------------------------------------------------------- #
+def test_runspec_validate_accepts_good_spec():
+    spec = RunSpec(dataset="cora", accelerator="sgcn", **TINY)
+    assert spec.validate() is spec
+
+
+@pytest.mark.parametrize(
+    "kwargs, match",
+    [
+        (dict(dataset="atlantis", accelerator="sgcn"), "unknown dataset"),
+        (dict(dataset="cora", accelerator="tpu"), "unknown accelerator"),
+        (dict(dataset="cora", accelerator="sgcn", variant="gat"), "variant"),
+        (dict(dataset="cora", accelerator="sgcn", num_layers=0), "num_layers"),
+        (dict(dataset="cora", accelerator="sgcn", max_vertices=1), "max_vertices"),
+        (dict(dataset="cora", accelerator="sgcn", max_sampled_layers=0),
+         "max_sampled_layers"),
+        (dict(dataset="cora", accelerator="sgcn", overrides={"warp": 1}),
+         "unknown SystemConfig override"),
+    ],
+)
+def test_runspec_validate_rejects_bad_fields(kwargs, match):
+    with pytest.raises(ConfigurationError, match=match):
+        RunSpec(**kwargs).validate()
+
+
+def test_runspec_validate_rejects_unknown_format_override():
+    spec = RunSpec(dataset="cora", accelerator="sgcn", feature_format="parquet")
+    with pytest.raises(FormatError, match="unknown format"):
+        spec.validate()
+
+
+def test_runspec_dict_round_trip_including_new_fields():
+    spec = RunSpec(
+        dataset="pubmed", accelerator="awb-gcn", variant="sage", seed=3,
+        max_vertices=256, num_layers=12, feature_format="BEICSR",
+        overrides={"cache_capacity_bytes": 262144}, tag="x",
+    )
+    rebuilt = RunSpec.from_dict(spec.to_dict())
+    assert rebuilt == spec
+    assert rebuilt.scenario_id == spec.scenario_id
+    assert rebuilt.accelerator == "awb_gcn"
+    assert rebuilt.feature_format == "beicsr"  # canonical folding
+
+
+def test_feature_format_only_enters_identity_when_set():
+    plain = RunSpec(dataset="cora", accelerator="sgcn")
+    assert "feature_format" not in plain.key()
+    assert "feature_format" not in plain.to_dict()
+    overridden = RunSpec(dataset="cora", accelerator="sgcn", feature_format="csr")
+    assert overridden.key()["feature_format"] == "csr"
+    assert overridden.scenario_id != plain.scenario_id
+
+
+def test_run_id_aliases_scenario_id():
+    spec = RunSpec(dataset="cora", accelerator="sgcn")
+    assert spec.run_id == spec.scenario_id
+
+
+# --------------------------------------------------------------------------- #
+# scenario_id stability (content-addressed cache compatibility)
+# --------------------------------------------------------------------------- #
+#: Frozen (kwargs, scenario_id) pairs captured from the pre-RunSpec Scenario
+#: implementation.  A change here invalidates every existing ResultStore
+#: cache — bump repro.experiments.store.SCHEMA_VERSION if you mean it.
+GOLDEN_SCENARIO_IDS = [
+    ({"dataset": "cora", "accelerator": "sgcn"}, "efb5953a7650"),
+    ({"dataset": "CORA", "accelerator": "SGCN", "tag": "label"}, "efb5953a7650"),
+    ({"dataset": "cora", "accelerator": "i-gcn"}, "94e0c71c2b54"),
+    ({"dataset": "pubmed", "accelerator": "awb-gcn", "variant": "sage",
+      "seed": 3, "max_vertices": 256, "num_layers": 12,
+      "overrides": {"cache_capacity_bytes": 262144, "dram": "hbm1"},
+      "tag": "x"}, "a7e424b1b8b1"),
+    ({"dataset": "citeseer", "accelerator": "gcnax", "variant": "gin",
+      "seed": 7, "max_vertices": 128, "max_sampled_layers": 4,
+      "num_layers": 8}, "d5ce3ecdc608"),
+    ({"dataset": "reddit", "accelerator": "hygcn",
+      "overrides": {"num_engines": 16, "dram_bandwidth_gbps": 512.0}},
+     "c5f8c332a8d0"),
+    ({"dataset": "github", "accelerator": "engn", "seed": 2,
+      "overrides": {"pipeline_phases": False}}, "7a4c2c24b090"),
+    ({"dataset": "yelp", "accelerator": "sgcn_no_sac", "max_vertices": 4096},
+     "ed297669d299"),
+]
+
+
+@pytest.mark.parametrize("kwargs, expected", GOLDEN_SCENARIO_IDS)
+def test_scenario_id_matches_pre_runspec_golden(kwargs, expected):
+    assert RunSpec(**kwargs).scenario_id == expected
+
+
+# --------------------------------------------------------------------------- #
+# Session memoization
+# --------------------------------------------------------------------------- #
+def test_session_reuses_one_dataset_across_a_batch(monkeypatch):
+    calls = []
+    real_load = session_module._load_dataset
+
+    def counting_load(name, **kwargs):
+        calls.append(name)
+        return real_load(name, **kwargs)
+
+    monkeypatch.setattr(session_module, "_load_dataset", counting_load)
+    session = Session()
+    specs = [
+        RunSpec(dataset="cora", accelerator=name, **TINY)
+        for name in ("gcnax", "hygcn", "sgcn")
+    ]
+    results = session.run_many(specs)
+    assert all(result is not None for result in results)
+    assert calls == ["cora"]  # one topology build for three runs
+    assert session.load_dataset("cora", max_vertices=64, num_layers=4) is (
+        session.load_dataset("cora", max_vertices=64, num_layers=4)
+    )
+
+
+def test_session_dataset_cache_is_bounded_lru():
+    session = Session(max_cached_datasets=2)
+    a = session.load_dataset("cora", max_vertices=64)
+    session.load_dataset("citeseer", max_vertices=64)
+    assert session.load_dataset("cora", max_vertices=64) is a  # refreshed
+    session.load_dataset("pubmed", max_vertices=64)  # evicts citeseer
+    assert len(session._datasets) == 2
+    assert session.load_dataset("cora", max_vertices=64) is a  # survived
+
+
+def test_session_memoizes_accelerator_instances():
+    session = Session()
+    assert session.accelerator("sgcn") is session.accelerator("SGCN")
+    assert session.accelerator("i-gcn") is session.accelerator("igcn")
+    overridden = session.accelerator("gcnax", feature_format="csr")
+    assert overridden is not session.accelerator("gcnax")
+    assert overridden.feature_format.name == "csr"
+
+
+def test_session_cache_does_not_outlive_registry_entries():
+    from repro.accelerator.registry import temporary_accelerator
+    from repro.accelerator.sgcn import SGCNAccelerator
+
+    session = Session()
+    with temporary_accelerator("mockacc", SGCNAccelerator):
+        assert session.accelerator("mockacc").name == "sgcn"
+    # The registration is gone; the session must not serve its cached model.
+    with pytest.raises(ConfigurationError, match="unknown accelerator"):
+        session.accelerator("mockacc")
+
+    class Other(SGCNAccelerator):
+        display_name = "Other"
+
+    with temporary_accelerator("mockacc", Other):
+        # Re-registered under a different factory: the cache must rebuild.
+        assert isinstance(session.accelerator("mockacc"), Other)
+
+
+def test_session_compare_rejects_mixed_datasets_and_duplicates():
+    session = Session()
+    mixed = [
+        RunSpec(dataset="cora", accelerator="gcnax", **TINY),
+        RunSpec(dataset="pubmed", accelerator="sgcn", **TINY),
+    ]
+    with pytest.raises(SimulationError, match="same dataset"):
+        session.compare(mixed, baseline="gcnax")
+    duplicated = [
+        RunSpec(dataset="cora", accelerator="gcnax", seed=0, **TINY),
+        RunSpec(dataset="cora", accelerator="gcnax", seed=1, **TINY),
+    ]
+    with pytest.raises(SimulationError, match="one spec per accelerator"):
+        session.compare(duplicated, baseline="gcnax")
+
+
+def test_session_detects_format_reregistration():
+    from repro.formats.base import FeatureFormat
+    from repro.formats.csr import CSRFeatureFormat
+    from repro.formats.registry import temporary_format
+
+    session = Session()
+    real = session.accelerator("gcnax", feature_format="csr")
+    assert isinstance(real.feature_format, CSRFeatureFormat)
+
+    class MockCSR(CSRFeatureFormat):
+        pass
+
+    with temporary_format("csr", MockCSR):
+        shadowed = session.accelerator("gcnax", feature_format="csr")
+        assert isinstance(shadowed.feature_format, MockCSR)
+    # Restored registration: the cache rebuilds with the real format again.
+    assert not isinstance(
+        session.accelerator("gcnax", feature_format="csr").feature_format, MockCSR
+    )
+
+
+def test_run_rejects_format_override_with_preresolved_accelerator():
+    session = Session()
+    spec = RunSpec(dataset="cora", accelerator="gcnax", feature_format="csr", **TINY)
+    with pytest.raises(ConfigurationError, match="feature_format"):
+        session.run(spec, accelerator=session.accelerator("gcnax"))
+
+
+def test_config_for_layers_overrides_on_session_base():
+    from repro.core.config import SystemConfig
+
+    plain = Session()
+    spec = RunSpec(dataset="cora", accelerator="sgcn", **TINY)
+    assert plain.config_for(spec) is None  # model defaults apply
+
+    overridden = RunSpec(dataset="cora", accelerator="sgcn",
+                         overrides={"num_engines": 4}, **TINY)
+    config = plain.config_for(overridden)
+    assert config.engines.num_aggregation_engines == 4
+
+    base = SystemConfig()
+    with_base = Session(config=base)
+    assert with_base.config_for(spec) is base
+    layered = with_base.config_for(overridden)
+    assert layered.engines.num_aggregation_engines == 4
+    assert layered.cache == base.cache
+
+
+def test_compare_shim_accepts_custom_instance_baseline():
+    from repro.accelerator.sgcn import SGCNAccelerator
+
+    class MyAccel(SGCNAccelerator):
+        name = "My-Accel"
+
+    dataset = load_dataset("cora", max_vertices=64, num_layers=4)
+    comparison = compare_accelerators(
+        dataset, [MyAccel(), "gcnax"], baseline="My-Accel"
+    )
+    assert comparison.baseline == "My-Accel"
+    assert comparison.speedups("My-Accel")["My-Accel"] == pytest.approx(1.0)
+
+
+def test_compare_shim_accepts_alias_baseline():
+    dataset = load_dataset("cora", max_vertices=64, num_layers=4)
+    comparison = compare_accelerators(
+        dataset, ["awb-gcn", "gcnax"], baseline="awb-gcn"
+    )
+    assert comparison.baseline == "awb_gcn"
+    assert comparison.speedups("awb_gcn")["awb_gcn"] == pytest.approx(1.0)
+
+
+def test_use_format_copies_instead_of_mutating_cached_models():
+    session = Session()
+    native = session.accelerator("sgcn")
+    native_format = native.feature_format.name
+    overridden = native.use_format("csr")
+    assert overridden is not native
+    assert overridden.feature_format.name == "csr"
+    # The session's memoized instance is untouched, so later runs with no
+    # format override still use the design's native format.
+    assert session.accelerator("sgcn").feature_format.name == native_format
+
+
+def test_feature_format_override_changes_traffic():
+    session = Session()
+    native = session.run(RunSpec(dataset="cora", accelerator="gcnax", **TINY))
+    compressed = session.run(
+        RunSpec(dataset="cora", accelerator="gcnax", feature_format="beicsr", **TINY)
+    )
+    assert compressed.total_cycles > 0
+    assert compressed.dram_traffic_bytes != native.dram_traffic_bytes
+
+
+# --------------------------------------------------------------------------- #
+# Shim equivalence: classic API == Session API, byte for byte
+# --------------------------------------------------------------------------- #
+def _as_bytes(result) -> str:
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+def test_simulate_shim_is_byte_identical_to_session_run():
+    dataset = load_dataset("cora", max_vertices=64, num_layers=4)
+    via_shim = simulate(dataset, "sgcn", seed=1)
+    via_session = Session().run(
+        RunSpec(dataset="cora", accelerator="sgcn", seed=1, **TINY)
+    )
+    # The spec path loads the dataset itself; seed drives both topology and
+    # sparsity there, so compare against an identically-loaded instance.
+    spec_dataset = load_dataset("cora", max_vertices=64, num_layers=4, seed=1)
+    via_shim_seeded = simulate(spec_dataset, "sgcn", seed=1)
+    assert _as_bytes(via_shim_seeded) == _as_bytes(via_session)
+    assert via_shim.total_cycles > 0  # seed-0 topology variant still runs
+
+
+def test_simulate_shim_is_byte_identical_for_named_dataset():
+    via_shim = simulate("cora", "sgcn", max_vertices=64)
+    via_session = Session().run(RunSpec(dataset="cora", accelerator="sgcn",
+                                        max_vertices=64))
+    assert _as_bytes(via_shim) == _as_bytes(via_session)
+
+
+def test_compare_shim_is_byte_identical_to_session_compare():
+    specs = [
+        RunSpec(dataset="cora", accelerator=name, **TINY)
+        for name in ("gcnax", "sgcn")
+    ]
+    via_session = Session().compare(specs, baseline="gcnax")
+    dataset = load_dataset("cora", max_vertices=64, num_layers=4)
+    via_shim = compare_accelerators(dataset, ["gcnax", "sgcn"], baseline="gcnax")
+    assert json.dumps(via_shim.to_dict(), sort_keys=True) == json.dumps(
+        via_session.to_dict(), sort_keys=True
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Session batch semantics
+# --------------------------------------------------------------------------- #
+def test_run_many_isolates_failures_via_on_error():
+    session = Session()
+    good = RunSpec(dataset="cora", accelerator="sgcn", **TINY)
+    bad = RunSpec(dataset="atlantis", accelerator="sgcn", **TINY)
+    errors = []
+    results = session.run_many(
+        [good, bad, good],
+        on_error=lambda index, spec, exc: errors.append((index, spec.dataset)),
+    )
+    assert results[0] is not None and results[2] is not None
+    assert results[1] is None
+    assert errors == [(1, "atlantis")]
+
+
+def test_run_many_raises_without_on_error():
+    session = Session()
+    bad = RunSpec(dataset="atlantis", accelerator="sgcn", **TINY)
+    with pytest.raises(ConfigurationError, match="unknown dataset"):
+        session.run_many([bad])
+
+
+def test_run_many_annotates_results_with_spec_identity():
+    session = Session()
+    spec = RunSpec(dataset="cora", accelerator="sgcn", **TINY)
+    (result,) = session.run_many([spec])
+    assert result.metadata["scenario_id"] == spec.scenario_id
+    assert result.metadata["scenario"] == spec.to_dict()
+
+
+def test_session_compare_fails_fast_on_missing_baseline(monkeypatch):
+    from repro.accelerator.simulator import AcceleratorModel
+
+    def explode(self, *args, **kwargs):
+        raise AssertionError("simulated before baseline validation")
+
+    monkeypatch.setattr(AcceleratorModel, "simulate", explode)
+    session = Session()
+    specs = [RunSpec(dataset="cora", accelerator="sgcn", **TINY)]
+    with pytest.raises(SimulationError, match="baseline"):
+        session.compare(specs, baseline="gcnax")
+    with pytest.raises(SimulationError, match="at least one"):
+        session.compare([], baseline="gcnax")
+
+
+def test_run_pack_routes_through_run_many():
+    session = Session()
+    pairs = session.run_pack("depth-sweep", max_vertices=48)
+    assert pairs and all(result is not None for _, result in pairs)
+    spec, result = pairs[0]
+    assert result.metadata["scenario_id"] == spec.scenario_id
