@@ -10,7 +10,9 @@ Compressed-Sparse Features in Deep Graph Convolutional Network Accelerators"
   deep residual models, and intermediate-feature sparsity tooling.
 * ``repro.formats`` — sparse feature formats (Dense, CSR, COO, BSR, Blocked
   Ellpack, BEICSR) with functional encode/decode and memory-traffic models.
-* ``repro.memory`` — cache and HBM DRAM models plus energy tables.
+* ``repro.memory`` — cache and HBM DRAM models plus energy tables, including
+  the vectorized trace-replay engine (``repro.memory.replay``) behind the
+  trace-driven aggregation simulation.
 * ``repro.accelerator`` — the SGCN accelerator model and baseline models of
   GCNAX, HyGCN, AWB-GCN, EnGN, and I-GCN.
 * ``repro.core`` — configuration dataclasses, the canonical
@@ -19,6 +21,9 @@ Compressed-Sparse Features in Deep Graph Convolutional Network Accelerators"
 * ``repro.experiments`` — declarative experiment sweeps: scenario/sweep
   specs, a parallel runner with result caching, paper-figure scenario
   packs, and the ``python -m repro`` CLI.
+* ``repro.bench`` — the ``repro bench`` performance harness comparing the
+  vectorized engine against the legacy path and recording ``BENCH_*.json``
+  trajectory documents.
 
 Quickstart::
 
@@ -45,8 +50,10 @@ from repro.core.config import (
     EngineConfig,
     SystemConfig,
 )
+from repro.accelerator.simulator import get_replay_backend, set_replay_backend
 from repro.core.runspec import RunSpec, SUPPORTED_OVERRIDES, build_config
 from repro.core.session import Session, default_session, reset_default_session
+from repro.memory.replay import ReplayEngine, TraceCache, replay_trace
 from repro.core.api import simulate, compare_accelerators, available_accelerators
 from repro.core.results import LayerResult, SimulationResult, ComparisonResult
 from repro.registry import Registry
@@ -66,6 +73,16 @@ from repro.errors import (
 
 __version__ = "1.0.0"
 
+
+def __getattr__(name):
+    # Lazy export: the bench harness drags in timing machinery that plain
+    # `import repro` users (and the CI import smoke) should not pay for.
+    if name == "run_benchmarks":
+        from repro.bench import run_benchmarks
+
+        return run_benchmarks
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "CacheConfig",
     "DRAMConfig",
@@ -78,6 +95,12 @@ __all__ = [
     "default_session",
     "reset_default_session",
     "Registry",
+    "ReplayEngine",
+    "TraceCache",
+    "replay_trace",
+    "get_replay_backend",
+    "set_replay_backend",
+    "run_benchmarks",
     "simulate",
     "compare_accelerators",
     "available_accelerators",

@@ -33,7 +33,9 @@ from repro.accelerator.systolic import SystolicArray
 from repro.accelerator.tiling import (
     TilingPlan,
     aggregation_access_trace,
+    aggregation_access_trace_reference,
     locality_reordering,
+    locality_reordering_reference,
     plan_tiling,
 )
 from repro.core.config import CACHELINE_BYTES, ELEMENT_BYTES, SystemConfig
@@ -46,7 +48,47 @@ from repro.graphs.datasets import Dataset
 from repro.graphs.graph import CSRGraph
 from repro.memory.dram import DRAMModel, TrafficPattern
 from repro.memory.energy import EnergyTable
-from repro.memory.rowcache import RowCache
+from repro.memory.replay import ReplayEngine, TraceCache, array_token
+from repro.memory.rowcache import RowCache, RowCacheStats
+
+
+# --------------------------------------------------------------------------- #
+# Replay backend selection
+# --------------------------------------------------------------------------- #
+#: Supported trace-replay backends: the vectorized engine
+#: (:class:`repro.memory.replay.ReplayEngine`, the default) and the legacy
+#: per-access :class:`repro.memory.rowcache.RowCache` loop.  The two are
+#: bit-identical (pinned by the golden equivalence tests); the legacy backend
+#: exists as the reference implementation and as the baseline the
+#: ``repro bench`` harness measures speedups against.
+REPLAY_BACKENDS = ("vectorized", "legacy")
+
+#: The legacy backend restores the dominant pre-vectorization paths, not
+#: just the cache replay: loop-based trace generation and BFS reordering,
+#: per-row ``row_read_lines`` materialisation, and no cross-run trace
+#: caching.  (Two minor helpers — ``CSRGraph.reorder`` and BEICSR's
+#: ``_split_row_nnz`` — stay vectorized under either backend, so the
+#: ``repro bench`` baseline is slightly *faster* than the true pre-PR
+#: engine; recorded speedups are conservative.)  The golden tests use the
+#: same switch as a whole-pipeline equivalence check.
+_replay_backend = "vectorized"
+
+
+def set_replay_backend(name: str) -> str:
+    """Select the aggregation-trace replay backend; returns the previous one."""
+    global _replay_backend
+    if name not in REPLAY_BACKENDS:
+        raise SimulationError(
+            f"unknown replay backend {name!r}; choose from {REPLAY_BACKENDS}"
+        )
+    previous = _replay_backend
+    _replay_backend = name
+    return previous
+
+
+def get_replay_backend() -> str:
+    """Name of the active trace-replay backend."""
+    return _replay_backend
 
 
 # --------------------------------------------------------------------------- #
@@ -154,6 +196,41 @@ class _RunContext:
     systolic: SystolicArray
     dram: DRAMModel
     energy_table: EnergyTable
+    #: Cross-run memo (owned by the Session) for traces/engines/derived graphs.
+    trace_cache: Optional[TraceCache] = None
+    #: Key prefix identifying the trace within the cache (None = uncached).
+    trace_token: Optional[Tuple] = None
+    #: Lazily-built replay engines (built on first vectorized replay, so the
+    #: legacy backend never pays for a structure it will not use).
+    replay_engine: Optional[ReplayEngine] = None
+    replay_engine_full: Optional[ReplayEngine] = None
+
+    def engine(self) -> ReplayEngine:
+        """Replay engine with the pinned partition folded in."""
+        if self.replay_engine is None:
+            builder = lambda: ReplayEngine(self.trace, pinned=self.pinned_vertices)
+            if self.trace_cache is not None and self.trace_token is not None:
+                pinned_token = (
+                    array_token(self.pinned_vertices) if self.pinned_vertices.size else None
+                )
+                key = ("engine",) + self.trace_token + (pinned_token,)
+                self.replay_engine = self.trace_cache.get(key, builder)
+            else:
+                self.replay_engine = builder()
+        return self.replay_engine
+
+    def engine_full(self) -> ReplayEngine:
+        """Replay engine over the full trace (first-layer dense replay)."""
+        if not self.pinned_vertices.size:
+            return self.engine()
+        if self.replay_engine_full is None:
+            builder = lambda: ReplayEngine(self.trace)
+            if self.trace_cache is not None and self.trace_token is not None:
+                key = ("engine",) + self.trace_token + (None,)
+                self.replay_engine_full = self.trace_cache.get(key, builder)
+            else:
+                self.replay_engine_full = builder()
+        return self.replay_engine_full
 
 
 class AcceleratorModel:
@@ -265,6 +342,7 @@ class AcceleratorModel:
         variant: str = "gcn",
         max_sampled_layers: int = 6,
         seed: int = 0,
+        trace_cache: Optional[TraceCache] = None,
     ) -> SimulationResult:
         """Simulate a full deep-GCN inference on ``dataset``.
 
@@ -277,27 +355,52 @@ class AcceleratorModel:
                 sampled layer is weighted by the number of layers it stands
                 for, so totals still cover the whole network.
             seed: Seed for the per-row non-zero draws.
+            trace_cache: Optional cross-run memo for access traces, replay
+                structures, and derived (reordered/transposed) graphs.  These
+                depend only on the topology and the schedule — not on timing
+                knobs — so a :class:`~repro.core.session.Session` passes its
+                own cache here and a sweep builds each trace once.
 
         Returns:
             A :class:`SimulationResult` covering every layer of the network.
         """
         config = config or SystemConfig()
         workloads = build_workloads(dataset, variant=variant)
-        context = self._build_context(dataset, config, workloads)
+        context = self._build_context(dataset, config, workloads, trace_cache)
 
         first, *intermediate = workloads
-        layer_results: List[LayerResult] = [
-            self._simulate_first_layer(dataset, first, context)
-        ]
+        sampled = (
+            self._sample_layers(intermediate, max_sampled_layers) if intermediate else []
+        )
 
-        if intermediate:
-            sampled = self._sample_layers(intermediate, max_sampled_layers)
-            for workload, weight in sampled:
-                result = self._simulate_intermediate_layer(
-                    dataset, workload, context, seed=seed
-                )
-                result.weight = weight
-                layer_results.append(result)
+        # Precompute every sampled layer's row tables, then evaluate every
+        # cache replay of the run (first layer + all layers x passes) in one
+        # batched engine call: the replay structure is shared, so stacking
+        # the size tables amortises the per-evaluation array overhead.
+        prepared = []
+        for workload, weight in sampled:
+            row_nnz, row_lines = self._layer_row_tables(workload, context, seed)
+            pass_sizes = self._pass_size_tables(workload, context, row_lines)
+            prepared.append((workload, weight, row_nnz, row_lines, pass_sizes))
+        first_stats, batched_stats = self._batched_replay(context, first, prepared)
+
+        layer_results: List[LayerResult] = [
+            self._simulate_first_layer(dataset, first, context, replay_stats=first_stats)
+        ]
+        for (workload, weight, row_nnz, row_lines, pass_sizes), stats in zip(
+            prepared, batched_stats
+        ):
+            result = self._simulate_intermediate_layer(
+                dataset,
+                workload,
+                context,
+                row_nnz,
+                row_lines,
+                pass_sizes,
+                replay_stats=stats,
+            )
+            result.weight = weight
+            layer_results.append(result)
 
         return SimulationResult(
             accelerator=self.name,
@@ -316,29 +419,56 @@ class AcceleratorModel:
     # ------------------------------------------------------------------ #
     # Context construction
     # ------------------------------------------------------------------ #
+    @staticmethod
+    def _reordered_for_locality(graph: CSRGraph) -> CSRGraph:
+        # Islandization reorders vertices so islands occupy consecutive
+        # ids.  On graphs that already have a locality-friendly ordering
+        # the pass detects no profitable islands and leaves the order
+        # alone, so the reordering never degrades locality.
+        from repro.graphs.stats import clustering_score
+
+        reorder = (
+            locality_reordering
+            if _replay_backend == "vectorized"
+            else locality_reordering_reference
+        )
+        permutation = reorder(graph)
+        reordered = graph.reorder(permutation)
+        if clustering_score(reordered) >= clustering_score(graph):
+            return reordered
+        return graph
+
     def _build_context(
         self,
         dataset: Dataset,
         config: SystemConfig,
         workloads: Sequence[LayerWorkload],
+        trace_cache: Optional[TraceCache] = None,
     ) -> _RunContext:
+        # The legacy backend ignores the trace cache: the pre-PR engine
+        # rebuilt every trace per run, and the benchmark measures that.
+        if _replay_backend != "vectorized":
+            trace_cache = None
         graph = dataset.graph
         if self.reorders_graph:
-            # Islandization reorders vertices so islands occupy consecutive
-            # ids.  On graphs that already have a locality-friendly ordering
-            # the pass detects no profitable islands and leaves the order
-            # alone, so the reordering never degrades locality.
-            from repro.graphs.stats import clustering_score
-
-            permutation = locality_reordering(graph)
-            reordered = graph.reorder(permutation)
-            if clustering_score(reordered) >= clustering_score(graph):
-                graph = reordered
+            if trace_cache is not None:
+                graph = trace_cache.get(
+                    ("reordered", graph.fingerprint()),
+                    lambda: self._reordered_for_locality(graph),
+                )
+            else:
+                graph = self._reordered_for_locality(graph)
         if self.column_product:
             # Column-product execution walks the transposed adjacency: for
             # every destination column it gathers the corresponding input
             # feature row, so the random feature accesses follow A^T.
-            graph = graph.transpose()
+            if trace_cache is not None:
+                base = graph
+                graph = trace_cache.get(
+                    ("transposed", base.fingerprint()), base.transpose
+                )
+            else:
+                graph = graph.transpose()
 
         cache_lines = self._effective_cache_lines(dataset, config)
         hidden_width = dataset.hidden_width
@@ -378,19 +508,39 @@ class AcceleratorModel:
             max_feature_passes=max(min_passes, self.DATAFLOW_FEATURE_PASSES),
         )
 
+        trace_token: Optional[Tuple] = None
         if self.column_product:
             # Column-product designs read every feature row exactly once per
             # pass and pay partial-sum traffic instead; no feature-read reuse
             # trace is needed.
             trace = np.zeros(0, dtype=np.int64)
         else:
-            trace = aggregation_access_trace(
+            # The trace depends only on the topology and the schedule knobs,
+            # never on the accelerator's timing parameters — key it on
+            # exactly those so a sweep over timing configurations reuses it.
+            trace_token = (
+                graph.fingerprint(),
+                tiling,
+                config.engines.num_aggregation_engines,
+                self.engine_partition,
+                config.sac_strip_height,
+            )
+            build_trace = (
+                aggregation_access_trace
+                if _replay_backend == "vectorized"
+                else aggregation_access_trace_reference
+            )
+            build = lambda: build_trace(
                 graph,
                 tiling,
                 num_engines=config.engines.num_aggregation_engines,
                 engine_partition=self.engine_partition,
                 strip_height=config.sac_strip_height,
             )
+            if trace_cache is not None:
+                trace = trace_cache.get(("trace",) + trace_token, build)
+            else:
+                trace = build()
 
         pinned = np.zeros(0, dtype=np.int64)
         if self.pins_high_degree_vertices:
@@ -408,6 +558,8 @@ class AcceleratorModel:
             systolic=SystolicArray(config.engines),
             dram=DRAMModel(config.dram),
             energy_table=EnergyTable(),
+            trace_cache=trace_cache,
+            trace_token=trace_token,
         )
 
     def _effective_cache_lines(self, dataset: Dataset, config: SystemConfig) -> int:
@@ -499,19 +651,12 @@ class AcceleratorModel:
     # ------------------------------------------------------------------ #
     # Intermediate layers (trace-driven)
     # ------------------------------------------------------------------ #
-    def _simulate_intermediate_layer(
-        self,
-        dataset: Dataset,
-        workload: LayerWorkload,
-        context: _RunContext,
-        seed: int = 0,
-    ) -> LayerResult:
-        graph = context.graph
-        config = context.config
-        num_vertices = graph.num_vertices
-
-        # Per-row non-zero counts for the layer's input features, and the
-        # resulting per-row transfer sizes under the accelerator's format.
+    def _layer_row_tables(
+        self, workload: LayerWorkload, context: _RunContext, seed: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-row non-zero counts for the layer's input features, and the
+        resulting per-row transfer sizes (in lines) under this format."""
+        num_vertices = context.graph.num_vertices
         row_nnz = row_nonzero_distribution(
             num_rows=num_vertices,
             width=workload.width_in,
@@ -519,15 +664,89 @@ class AcceleratorModel:
             seed=seed + workload.layer_index,
         )
         layout = self._format.build_layout(row_nnz, workload.width_in)
-        row_lines = np.fromiter(
-            (layout.row_read_lines(row).size for row in range(num_vertices)),
-            dtype=np.int64,
-            count=num_vertices,
+        if get_replay_backend() == "vectorized":
+            row_lines = layout.row_read_line_counts()
+        else:
+            row_lines = np.fromiter(
+                (layout.row_read_lines(row).size for row in range(num_vertices)),
+                dtype=np.int64,
+                count=num_vertices,
+            )
+        return row_nnz, row_lines
+
+    def _pass_size_tables(
+        self, workload: LayerWorkload, context: _RunContext, row_lines: np.ndarray
+    ) -> List[np.ndarray]:
+        """Lines transferred per access in each feature pass.
+
+        The row's lines are spread across the passes as evenly as integers
+        allow (a sliced format reads a different subset of unit slices per
+        pass), so the per-pass sizes sum back to the full row.  Formats that
+        cannot be read in width slices pay an extra (unaligned) line per
+        access.
+        """
+        passes = context.tiling.feature_passes
+        extra_lines, _ = self._pass_access_overhead(workload.width_in, passes)
+        base_lines = row_lines // passes
+        remainder = row_lines % passes
+        return [
+            np.maximum(1, base_lines + (pass_index < remainder).astype(np.int64))
+            + extra_lines
+            for pass_index in range(passes)
+        ]
+
+    def _batched_replay(
+        self,
+        context: _RunContext,
+        first_workload: LayerWorkload,
+        prepared: Sequence[Tuple],
+    ) -> Tuple[Optional[RowCacheStats], List[Optional[List[RowCacheStats]]]]:
+        """Evaluate every cache replay of the run in one engine call.
+
+        Covers the sampled intermediate layers (one table per feature pass)
+        plus the first layer's dense replay; all of them share the trace
+        structure and — without a pinned partition — the capacity, so one
+        ``replay_many`` amortises the evaluation overhead across the run.
+        Returns ``(None, [None, ...])`` whenever per-layer replay must
+        happen instead: the legacy backend, column-product designs (no
+        trace), or pinned partitions (per-layer shared capacity).
+        """
+        if (
+            get_replay_backend() != "vectorized"
+            or self.column_product
+            or context.trace.size == 0
+            or context.pinned_vertices.size
+        ):
+            return None, [None] * len(prepared)
+        tables: List[np.ndarray] = []
+        for _, _, _, _, pass_sizes in prepared:
+            tables.extend(pass_sizes)
+        dense_row_lines = bytes_to_lines(first_workload.width_out * ELEMENT_BYTES)
+        tables.append(
+            np.full(context.graph.num_vertices, dense_row_lines, dtype=np.int64)
         )
+        stats = context.engine().replay_many(tables, context.cache_lines)
+        batched: List[Optional[List[RowCacheStats]]] = []
+        cursor = 0
+        for _, _, _, _, pass_sizes in prepared:
+            batched.append(stats[cursor : cursor + len(pass_sizes)])
+            cursor += len(pass_sizes)
+        return stats[-1], batched
 
-        aggregation = self._aggregation_phase(workload, context, row_lines)
+    def _simulate_intermediate_layer(
+        self,
+        dataset: Dataset,
+        workload: LayerWorkload,
+        context: _RunContext,
+        row_nnz: np.ndarray,
+        row_lines: np.ndarray,
+        pass_sizes: List[np.ndarray],
+        replay_stats: Optional[List[RowCacheStats]] = None,
+    ) -> LayerResult:
+        aggregation = self._aggregation_phase(
+            workload, context, row_lines, pass_sizes, replay_stats
+        )
         combination = self._combination_phase(dataset, workload, context, row_nnz)
-
         return self._assemble_layer(workload, context, aggregation, combination)
 
     def _aggregation_phase(
@@ -535,26 +754,14 @@ class AcceleratorModel:
         workload: LayerWorkload,
         context: _RunContext,
         row_lines: np.ndarray,
+        pass_sizes: List[np.ndarray],
+        replay_stats: Optional[List[RowCacheStats]] = None,
     ) -> PhaseResult:
         config = context.config
         graph = context.graph
         passes = context.tiling.feature_passes
         edge_fraction = workload.edge_fraction
-        # Lines transferred per access in each feature pass: the row's lines
-        # are spread across the passes as evenly as integers allow (a sliced
-        # format reads a different subset of unit slices per pass), so the
-        # per-pass sizes sum back to the full row.  Formats that cannot be
-        # read in width slices pay an extra (unaligned) line per access.
-        extra_lines, aligned_reads = self._pass_access_overhead(
-            workload.width_in, passes
-        )
-        base_lines = row_lines // passes
-        remainder = row_lines % passes
-        pass_sizes = [
-            np.maximum(1, base_lines + (pass_index < remainder).astype(np.int64))
-            + extra_lines
-            for pass_index in range(passes)
-        ]
+        _, aligned_reads = self._pass_access_overhead(workload.width_in, passes)
 
         if self.column_product:
             # Column-product execution streams every input feature row exactly
@@ -566,44 +773,55 @@ class AcceleratorModel:
             cache_accesses = float(total_lines)
             hit_rate = 0.0
         else:
-            cache = RowCache(context.cache_lines)
+            # The pinned rows live in a dedicated partition: their accesses
+            # always hit and the capacity they use is removed from the
+            # shared pool.
+            shared_capacity = context.cache_lines
             if context.pinned_vertices.size:
-                # Pre-install the pinned rows; they stay resident because they
-                # belong to a dedicated partition.  The capacity they use is
-                # removed from the shared pool.
                 pinned_lines = int(pass_sizes[0][context.pinned_vertices].sum())
                 shared_capacity = max(1, context.cache_lines - pinned_lines)
-                cache = RowCache(shared_capacity)
-            pinned_set = set(context.pinned_vertices.tolist())
 
-            trace = context.trace
             hit_lines = 0
             miss_lines = 0
             accesses = 0
             hits = 0
-            for pass_index in range(passes):
-                per_pass_lines = pass_sizes[pass_index]
-                cache.flush()
-                if pinned_set:
-                    sizes = per_pass_lines.tolist()
-                    for row in trace.tolist():
-                        size = sizes[row]
-                        accesses += 1
-                        if row in pinned_set:
-                            hits += 1
-                            hit_lines += size
-                        elif cache.access(row, size):
-                            hits += 1
-                            hit_lines += size
-                        else:
-                            miss_lines += size
-                else:
-                    cache.access_trace(trace, per_pass_lines)
-                    accesses += cache.stats.accesses
-                    hits += cache.stats.hits
-                    hit_lines += cache.stats.hit_lines
-                    miss_lines += cache.stats.miss_lines
-                    cache.reset_stats()
+            if get_replay_backend() == "vectorized":
+                if replay_stats is None:
+                    replay_stats = context.engine().replay_many(
+                        pass_sizes, shared_capacity
+                    )
+                for stats in replay_stats:
+                    accesses += stats.accesses
+                    hits += stats.hits
+                    hit_lines += stats.hit_lines
+                    miss_lines += stats.miss_lines
+            else:
+                cache = RowCache(shared_capacity)
+                pinned_set = set(context.pinned_vertices.tolist())
+                trace = context.trace
+                for pass_index in range(passes):
+                    per_pass_lines = pass_sizes[pass_index]
+                    cache.flush()
+                    if pinned_set:
+                        sizes = per_pass_lines.tolist()
+                        for row in trace.tolist():
+                            size = sizes[row]
+                            accesses += 1
+                            if row in pinned_set:
+                                hits += 1
+                                hit_lines += size
+                            elif cache.access(row, size):
+                                hits += 1
+                                hit_lines += size
+                            else:
+                                miss_lines += size
+                    else:
+                        cache.access_trace(trace, per_pass_lines)
+                        accesses += cache.stats.accesses
+                        hits += cache.stats.hits
+                        hit_lines += cache.stats.hit_lines
+                        miss_lines += cache.stats.miss_lines
+                        cache.reset_stats()
 
             feature_read_bytes = miss_lines * CACHELINE_BYTES * edge_fraction
             cache_accesses = (hit_lines + miss_lines) * edge_fraction
@@ -710,6 +928,7 @@ class AcceleratorModel:
         dataset: Dataset,
         workload: LayerWorkload,
         context: _RunContext,
+        replay_stats: Optional[RowCacheStats] = None,
     ) -> LayerResult:
         """First layer: combination of the given input features, then
         aggregation of the (dense) result.
@@ -768,10 +987,18 @@ class AcceleratorModel:
         else:
             # The dense intermediate is re-read per edge with the same hit
             # rate a dense-format run of this schedule achieves; approximate
-            # it with a single cache replay using dense rows.
-            cache = RowCache(context.cache_lines)
-            sizes = np.full(num_vertices, dense_row_lines, dtype=np.int64)
-            stats = cache.access_trace(context.trace, sizes)
+            # it with a single cache replay using dense rows.  The full
+            # (unpinned) trace is replayed at full capacity here, matching
+            # the reference path.
+            if replay_stats is not None:
+                stats = replay_stats
+            elif get_replay_backend() == "vectorized":
+                sizes = np.full(num_vertices, dense_row_lines, dtype=np.int64)
+                stats = context.engine_full().replay(sizes, context.cache_lines)
+            else:
+                cache = RowCache(context.cache_lines)
+                sizes = np.full(num_vertices, dense_row_lines, dtype=np.int64)
+                stats = cache.access_trace(context.trace, sizes)
             agg_read_bytes = stats.miss_lines * CACHELINE_BYTES * workload.edge_fraction
             cache_accesses = float(stats.hit_lines + stats.miss_lines)
             first_layer_hit_rate = stats.hit_rate

@@ -212,14 +212,15 @@ def source_processing_order(
         return np.arange(num_vertices, dtype=np.int64)
 
     if mode == "contiguous":
+        # vertex[offset, engine] = engine * block + offset, walked offset-major
+        # (the engines advance through their blocks in lockstep).
         block = ceil(num_vertices / num_engines)
-        order = []
-        for offset in range(block):
-            for engine in range(num_engines):
-                vertex = engine * block + offset
-                if vertex < num_vertices:
-                    order.append(vertex)
-        return np.asarray(order, dtype=np.int64)
+        grid = (
+            np.arange(num_engines, dtype=np.int64)[None, :] * block
+            + np.arange(block, dtype=np.int64)[:, None]
+        )
+        order = grid.ravel()
+        return order[order < num_vertices]
 
     # Sparsity-aware cooperation: strips dealt round-robin; at any moment the
     # engines work on `num_engines` *consecutive* strips, then advance
@@ -227,15 +228,18 @@ def source_processing_order(
     if strip_height <= 0:
         raise SimulationError("strip height must be positive")
     num_strips = ceil(num_vertices / strip_height)
-    order = []
-    for group_start in range(0, num_strips, num_engines):
-        group = list(range(group_start, min(group_start + num_engines, num_strips)))
-        for offset in range(strip_height):
-            for strip in group:
-                vertex = strip * strip_height + offset
-                if vertex < num_vertices:
-                    order.append(vertex)
-    return np.asarray(order, dtype=np.int64)
+    num_groups = ceil(num_strips / num_engines)
+    # vertex[group, offset, strip] = strip_id * H + offset, walked group-major
+    # then offset-major across the group's strips.
+    strip_ids = np.arange(num_groups * num_engines, dtype=np.int64).reshape(
+        num_groups, num_engines
+    )
+    vertices = (
+        strip_ids[:, None, :] * strip_height
+        + np.arange(strip_height, dtype=np.int64)[None, :, None]
+    )
+    valid = (strip_ids[:, None, :] < num_strips) & (vertices < num_vertices)
+    return vertices.ravel()[valid.ravel()]
 
 
 def aggregation_access_trace(
@@ -271,10 +275,119 @@ def aggregation_access_trace(
     source_tile = plan.source_tile_vertices or num_vertices
     dest_tile = plan.dest_tile_vertices or num_vertices
 
-    trace_chunks: List[np.ndarray] = []
+    # Engine-interleaved source sequence, one segment per source tile.
+    segments: List[np.ndarray] = []
     for src_start in range(0, num_vertices, source_tile):
         src_stop = min(num_vertices, src_start + source_tile)
         local_order = source_processing_order(
+            num_vertices=src_stop - src_start,
+            num_engines=num_engines,
+            mode=engine_partition,
+            strip_height=strip_height,
+        )
+        segments.append(local_order + src_start)
+    source_seq = np.concatenate(segments) if segments else np.zeros(0, dtype=np.int64)
+    segment_lengths = np.asarray([s.size for s in segments], dtype=np.int64)
+
+    # Expand the sequence to one entry per edge (CSR slice gather).
+    counts = indptr[source_seq + 1] - indptr[source_seq]
+    num_edges = int(counts.sum())
+    if num_edges == 0:
+        return np.zeros(0, dtype=np.int64)
+    output_starts = np.cumsum(counts) - counts
+    within = np.arange(num_edges, dtype=np.int64) - np.repeat(output_starts, counts)
+    dests = indices[np.repeat(indptr[source_seq], counts) + within]
+
+    # Replaying the loop nest (source tile -> destination tile -> source ->
+    # edge) is a stable sort of the edges by (source tile, destination tile,
+    # position in the engine-interleaved order); within one (source, tile)
+    # pair the CSR neighbour order survives because the sort is stable.
+    num_dest_tiles = -(-num_vertices // dest_tile)
+    position_of_edge = np.repeat(
+        np.arange(source_seq.size, dtype=np.int64), counts
+    )
+    if num_dest_tiles == 1 and len(segments) == 1:
+        return dests.astype(np.int64)
+    source_tile_of_edge = np.repeat(
+        np.repeat(np.arange(len(segments), dtype=np.int64), segment_lengths), counts
+    )
+    dest_tile_of_edge = dests // dest_tile
+    key = (
+        source_tile_of_edge * num_dest_tiles + dest_tile_of_edge
+    ) * source_seq.size + position_of_edge
+    return dests[np.argsort(key, kind="stable")].astype(np.int64)
+
+
+# --------------------------------------------------------------------------- #
+# Reference implementations
+# --------------------------------------------------------------------------- #
+# The pre-vectorization loop bodies, kept as the executable specification of
+# the vectorized builders above: the equivalence tests pin the two against
+# each other on randomized graphs/plans, and the legacy replay backend
+# (``repro.accelerator.simulator.set_replay_backend("legacy")``) runs them so
+# that ``repro bench`` measures the true before/after of the trace engine.
+
+
+def source_processing_order_reference(
+    num_vertices: int,
+    num_engines: int,
+    mode: str = "contiguous",
+    strip_height: int = 32,
+) -> np.ndarray:
+    """Loop-based reference of :func:`source_processing_order`."""
+    if num_vertices <= 0:
+        raise SimulationError("need at least one source vertex")
+    if num_engines <= 0:
+        raise SimulationError("need at least one engine")
+    if mode not in ("contiguous", "sac"):
+        raise SimulationError(f"unknown engine partitioning mode {mode!r}")
+
+    if num_engines == 1:
+        return np.arange(num_vertices, dtype=np.int64)
+
+    if mode == "contiguous":
+        block = ceil(num_vertices / num_engines)
+        order = []
+        for offset in range(block):
+            for engine in range(num_engines):
+                vertex = engine * block + offset
+                if vertex < num_vertices:
+                    order.append(vertex)
+        return np.asarray(order, dtype=np.int64)
+
+    if strip_height <= 0:
+        raise SimulationError("strip height must be positive")
+    num_strips = ceil(num_vertices / strip_height)
+    order = []
+    for group_start in range(0, num_strips, num_engines):
+        group = list(range(group_start, min(group_start + num_engines, num_strips)))
+        for offset in range(strip_height):
+            for strip in group:
+                vertex = strip * strip_height + offset
+                if vertex < num_vertices:
+                    order.append(vertex)
+    return np.asarray(order, dtype=np.int64)
+
+
+def aggregation_access_trace_reference(
+    graph: CSRGraph,
+    plan: TilingPlan,
+    num_engines: int,
+    engine_partition: str = "contiguous",
+    strip_height: int = 32,
+) -> np.ndarray:
+    """Loop-based reference of :func:`aggregation_access_trace`."""
+    num_vertices = graph.num_vertices
+    indptr = graph.indptr
+    indices = graph.indices
+
+    source_tile = plan.source_tile_vertices or num_vertices
+    dest_tile = plan.dest_tile_vertices or num_vertices
+
+    trace_chunks: List[np.ndarray] = []
+    for src_start in range(0, num_vertices, source_tile):
+        src_stop = min(num_vertices, src_start + source_tile)
+        local_order = source_processing_order_reference(
             num_vertices=src_stop - src_start,
             num_engines=num_engines,
             mode=engine_partition,
@@ -301,6 +414,35 @@ def aggregation_access_trace(
     return np.concatenate(trace_chunks).astype(np.int64)
 
 
+def locality_reordering_reference(graph: CSRGraph) -> np.ndarray:
+    """Loop-based (FIFO-queue BFS) reference of :func:`locality_reordering`."""
+    from collections import deque
+
+    undirected = graph.symmetrized()
+    num_vertices = undirected.num_vertices
+    visited = np.zeros(num_vertices, dtype=bool)
+    new_ids = np.full(num_vertices, -1, dtype=np.int64)
+    next_id = 0
+
+    order_seed = np.argsort(-undirected.degrees, kind="stable")
+    for seed in order_seed.tolist():
+        if visited[seed]:
+            continue
+        queue = deque([seed])
+        visited[seed] = True
+        while queue:
+            vertex = queue.popleft()
+            new_ids[vertex] = next_id
+            next_id += 1
+            for neighbor in undirected.neighbors(vertex).tolist():
+                if not visited[neighbor]:
+                    visited[neighbor] = True
+                    queue.append(neighbor)
+    if next_id != num_vertices:
+        raise SimulationError("reordering failed to cover every vertex")
+    return new_ids
+
+
 def locality_reordering(graph: CSRGraph) -> np.ndarray:
     """Locality-improving vertex permutation (I-GCN "islandization" stand-in).
 
@@ -316,26 +458,40 @@ def locality_reordering(graph: CSRGraph) -> np.ndarray:
     """
     undirected = graph.symmetrized()
     num_vertices = undirected.num_vertices
+    indptr = undirected.indptr
+    indices = undirected.indices
     visited = np.zeros(num_vertices, dtype=bool)
     new_ids = np.full(num_vertices, -1, dtype=np.int64)
     next_id = 0
 
     order_seed = np.argsort(-undirected.degrees, kind="stable")
-    from collections import deque
 
     for seed in order_seed.tolist():
         if visited[seed]:
             continue
-        queue = deque([seed])
+        # Level-synchronous BFS.  A FIFO queue assigns ids in pop order,
+        # which is exactly level order with each level in discovery order
+        # (parent position first, CSR neighbour order second, first parent
+        # wins) — so batching the frontier keeps the permutation identical.
+        frontier = np.asarray([seed], dtype=np.int64)
         visited[seed] = True
-        while queue:
-            vertex = queue.popleft()
-            new_ids[vertex] = next_id
-            next_id += 1
-            for neighbor in undirected.neighbors(vertex).tolist():
-                if not visited[neighbor]:
-                    visited[neighbor] = True
-                    queue.append(neighbor)
+        while frontier.size:
+            new_ids[frontier] = np.arange(
+                next_id, next_id + frontier.size, dtype=np.int64
+            )
+            next_id += frontier.size
+            counts = indptr[frontier + 1] - indptr[frontier]
+            total = int(counts.sum())
+            if total == 0:
+                break
+            output_starts = np.cumsum(counts) - counts
+            within = np.arange(total, dtype=np.int64) - np.repeat(output_starts, counts)
+            neighbors = indices[np.repeat(indptr[frontier], counts) + within]
+            neighbors = neighbors[~visited[neighbors]]
+            # Deduplicate keeping the first (earliest-discovered) occurrence.
+            _, first_positions = np.unique(neighbors, return_index=True)
+            frontier = neighbors[np.sort(first_positions)]
+            visited[frontier] = True
     if next_id != num_vertices:
         raise SimulationError("reordering failed to cover every vertex")
     return new_ids

@@ -1,0 +1,232 @@
+"""Benchmark harness for the trace-replay engine.
+
+Times the built-in scenario packs through a :class:`~repro.core.session.Session`
+under both replay backends — the vectorized engine
+(:mod:`repro.memory.replay`) and the ``legacy`` backend, which restores the
+dominant pre-vectorization paths (per-access ``RowCache`` replay, loop-based
+trace generation and BFS reordering, per-row line tables, no cross-run trace
+caching; two minor helpers stay vectorized either way, so the baseline is if
+anything slightly fast).  The ratio of the two is the before/after of the
+engine, measured conservatively with the repository's own code.
+
+Methodology:
+
+* each timed repeat uses a **fresh session** (cold trace cache, cold engine
+  structures — everything the engine amortises is paid inside the timed
+  region);
+* dataset synthesis is **pre-warmed** before the clock starts: generating a
+  synthetic topology costs the same under either backend and is not what
+  this benchmark measures;
+* the wall-clock per backend is the **best of** ``repeats`` runs, the
+  conventional way to suppress scheduler noise on shared machines.
+
+``run_benchmarks`` produces (and optionally writes) the ``BENCH_*.json``
+document whose schema is documented in the README's Performance section;
+``BENCH_trace_engine.json`` at the repository root is a committed run of the
+default configuration and seeds the repo's performance trajectory: future
+PRs can be compared against it.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.accelerator.simulator import get_replay_backend, set_replay_backend
+from repro.core.session import Session
+from repro.experiments.scenarios import get_pack
+
+#: Schema version of the BENCH JSON document.
+BENCH_SCHEMA_VERSION = 1
+
+#: Default benchmark cases: ``(pack name, max_vertices)`` — ``None`` keeps
+#: the pack's default scale.  The main-comparison grid is measured at its
+#: default scale and at a 4x larger one where the replay dominates even
+#: more clearly.
+DEFAULT_CASES: Tuple[Tuple[str, Optional[int]], ...] = (
+    ("paper-comparison", None),
+    ("paper-comparison", 2048),
+)
+
+#: Case used by ``repro bench --quick`` (CI smoke): the smallest built-in
+#: pack (18 runs) at a reduced scale.
+QUICK_CASE: Tuple[str, Optional[int]] = ("hbm-generation", 256)
+
+#: Default number of timed repeats per backend (best-of).
+DEFAULT_REPEATS = 3
+
+
+@dataclass
+class PackBenchResult:
+    """Timing of one scenario pack under both replay backends."""
+
+    pack: str
+    runs: int
+    max_vertices: Optional[int]
+    repeats: int
+    vectorized_s: float
+    legacy_s: Optional[float] = None
+    trace_cache: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> Optional[float]:
+        """Legacy wall-clock divided by vectorized wall-clock."""
+        if self.legacy_s is None or self.vectorized_s <= 0:
+            return None
+        return self.legacy_s / self.vectorized_s
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form (one entry of the BENCH document)."""
+        return {
+            "pack": self.pack,
+            "runs": self.runs,
+            "max_vertices": self.max_vertices,
+            "repeats": self.repeats,
+            "vectorized_s": round(self.vectorized_s, 4),
+            "legacy_s": None if self.legacy_s is None else round(self.legacy_s, 4),
+            "speedup": None if self.speedup is None else round(self.speedup, 2),
+            "trace_cache": dict(self.trace_cache),
+        }
+
+
+def _time_sweep(specs: Sequence, repeats: int) -> Tuple[float, Session]:
+    """Best-of-``repeats`` wall-clock of one pack sweep under the active backend."""
+    best = float("inf")
+    session: Optional[Session] = None
+    for _ in range(max(1, repeats)):
+        session = Session()
+        for spec in specs:
+            session.load_dataset(
+                spec.dataset,
+                max_vertices=spec.max_vertices,
+                num_layers=spec.num_layers,
+                seed=spec.seed,
+            )
+        start = time.perf_counter()
+        session.run_many(specs, annotate=False)
+        best = min(best, time.perf_counter() - start)
+    assert session is not None
+    return best, session
+
+
+def bench_pack(
+    name: str,
+    max_vertices: Optional[int] = None,
+    repeats: int = DEFAULT_REPEATS,
+    include_legacy: bool = True,
+) -> PackBenchResult:
+    """Benchmark one scenario pack; restores the active backend afterwards."""
+    specs = get_pack(name, max_vertices=max_vertices).expand()
+    previous = get_replay_backend()
+    try:
+        set_replay_backend("vectorized")
+        vectorized_s, session = _time_sweep(specs, repeats)
+        trace_cache = session.trace_cache.stats()
+        legacy_s = None
+        if include_legacy:
+            set_replay_backend("legacy")
+            legacy_s, _ = _time_sweep(specs, repeats)
+    finally:
+        set_replay_backend(previous)
+    return PackBenchResult(
+        pack=name,
+        runs=len(specs),
+        max_vertices=max_vertices,
+        repeats=repeats,
+        vectorized_s=vectorized_s,
+        legacy_s=legacy_s,
+        trace_cache=trace_cache,
+    )
+
+
+def run_benchmarks(
+    cases: Optional[Sequence[Tuple[str, Optional[int]]]] = None,
+    repeats: int = DEFAULT_REPEATS,
+    quick: bool = False,
+    include_legacy: bool = True,
+    out: Optional[Union[str, Path]] = None,
+) -> Dict[str, object]:
+    """Run the benchmark suite and return (optionally write) the BENCH document.
+
+    Args:
+        cases: ``(pack name, max_vertices)`` pairs; :data:`DEFAULT_CASES`
+            when omitted.
+        repeats: Timed repeats per backend (best-of).
+        quick: CI smoke mode — the smallest pack at reduced scale, one
+            repeat; overrides ``cases``/``repeats``.
+        include_legacy: Also time the legacy (pre-vectorization) path and
+            report speedups; disable for a vectorized-only trend point.
+        out: Path of the ``BENCH_*.json`` to write (skipped when ``None``).
+    """
+    if quick:
+        cases = [QUICK_CASE]
+        repeats = 1
+    elif cases is None:
+        cases = list(DEFAULT_CASES)
+
+    results: List[PackBenchResult] = []
+    for pack_name, max_vertices in cases:
+        results.append(
+            bench_pack(
+                pack_name,
+                max_vertices=max_vertices,
+                repeats=repeats,
+                include_legacy=include_legacy,
+            )
+        )
+
+    total_vectorized = sum(result.vectorized_s for result in results)
+    legacy_times = [result.legacy_s for result in results if result.legacy_s is not None]
+    speedups = [result.speedup for result in results if result.speedup is not None]
+    document: Dict[str, object] = {
+        "benchmark": "trace_engine",
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "quick": bool(quick),
+        "baseline": (
+            "legacy replay backend: pre-vectorization engine "
+            "(per-access RowCache replay, loop-based trace generation, "
+            "no trace caching)"
+        ),
+        "platform": {
+            "python": sys.version.split()[0],
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "results": [result.to_dict() for result in results],
+        "summary": {
+            "total_vectorized_s": round(total_vectorized, 4),
+            "total_legacy_s": (
+                round(sum(legacy_times), 4) if legacy_times else None
+            ),
+            "overall_speedup": (
+                round(sum(legacy_times) / total_vectorized, 2)
+                if legacy_times and total_vectorized > 0
+                else None
+            ),
+            "min_speedup": round(min(speedups), 2) if speedups else None,
+        },
+    }
+    if out is not None:
+        path = Path(out)
+        path.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
+    return document
+
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "DEFAULT_CASES",
+    "DEFAULT_REPEATS",
+    "QUICK_CASE",
+    "PackBenchResult",
+    "bench_pack",
+    "run_benchmarks",
+]

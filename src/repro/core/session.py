@@ -10,6 +10,11 @@ spec-independent work across runs:
   accelerators over one dataset builds the topology once;
 * :meth:`Session.accelerator` — accelerator models (including optional
   feature-format overrides) are instantiated once per session;
+* :attr:`Session.trace_cache` — aggregation access traces, their replay
+  structures (:class:`repro.memory.replay.ReplayEngine`), and derived
+  reordered/transposed graphs are memoized across runs; they depend only on
+  the topology and the schedule knobs, so a sweep over N accelerators x M
+  cache sizes builds each trace once instead of N x M times;
 * :meth:`Session.run` / :meth:`Session.run_many` — execute one spec or a
   batch, optionally annotating results with the spec's identity for
   downstream exports;
@@ -47,6 +52,7 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.formats.registry import FORMATS
 from repro.graphs.datasets import DEFAULT_NUM_LAYERS, Dataset
 from repro.graphs.datasets import load_dataset as _load_dataset
+from repro.memory.replay import TraceCache
 
 #: ``progress`` callback signature of :meth:`Session.run_many`:
 #: ``(index, spec, result)``.
@@ -67,17 +73,25 @@ class Session:
         max_cached_datasets: LRU capacity of the dataset cache.  Each cached
             entry holds one scaled synthetic topology; the default comfortably
             covers a full paper-comparison sweep.
+        max_cached_traces: LRU capacity of the trace cache (aggregation
+            access traces, replay-engine structures, and derived
+            reordered/transposed graphs).  Entries depend only on
+            (topology, tiling plan, engine partition) — never on timing
+            knobs — so a sweep over N accelerators x M cache sizes builds
+            each trace once instead of N x M times.
     """
 
     def __init__(
         self,
         config: Optional[SystemConfig] = None,
         max_cached_datasets: int = 32,
+        max_cached_traces: int = 256,
     ) -> None:
         if max_cached_datasets < 1:
             raise ConfigurationError("max_cached_datasets must be at least 1")
         self.base_config = config
         self.max_cached_datasets = max_cached_datasets
+        self._traces = TraceCache(max_entries=max_cached_traces)
         self._datasets: "OrderedDict[Tuple[str, int, int, int], Dataset]" = OrderedDict()
         # name/format -> (accelerator factory, format name, format factory,
         # instance).  Both factories are kept so a cache hit can detect that
@@ -176,10 +190,16 @@ class Session:
             return build_config(spec.overrides, base=base)
         return base
 
+    @property
+    def trace_cache(self) -> TraceCache:
+        """The session's cross-run trace/replay-structure memo."""
+        return self._traces
+
     def clear_caches(self) -> None:
-        """Drop every memoized dataset and accelerator instance."""
+        """Drop every memoized dataset, accelerator, and trace entry."""
         self._datasets.clear()
         self._accelerators.clear()
+        self._traces.clear()
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -246,6 +266,7 @@ class Session:
             variant=spec.variant,
             max_sampled_layers=spec.max_sampled_layers,
             seed=spec.seed,
+            trace_cache=self._traces,
         )
         if annotate:
             result.metadata["scenario_id"] = spec.scenario_id

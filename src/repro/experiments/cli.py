@@ -10,7 +10,10 @@ Subcommands:
   :meth:`repro.core.session.Session.run_many`, reusing datasets across
   scenarios);
 * ``export`` — merge a directory of per-scenario JSON documents (sweep
-  output or the cache store) into one CSV/JSON summary table.
+  output or the cache store) into one CSV/JSON summary table;
+* ``bench`` — time the built-in scenario packs under the vectorized
+  trace-replay engine and the legacy (pre-vectorization) path, and write a
+  ``BENCH_*.json`` performance-trajectory document.
 """
 
 from __future__ import annotations
@@ -148,6 +151,47 @@ def build_parser() -> argparse.ArgumentParser:
     )
     export_parser.set_defaults(func=_cmd_export)
 
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="benchmark the trace-replay engine on the built-in scenario packs",
+    )
+    bench_parser.add_argument(
+        "packs",
+        nargs="*",
+        help=(
+            "scenario packs to time (default: the main-comparison grid at "
+            "its default scale and at 2048 vertices)"
+        ),
+    )
+    bench_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: the smallest pack at reduced scale, one repeat",
+    )
+    bench_parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timed repeats per backend, best-of (default: 3)",
+    )
+    bench_parser.add_argument(
+        "--max-vertices",
+        type=int,
+        default=None,
+        help="scale cap applied to the packs named on the command line",
+    )
+    bench_parser.add_argument(
+        "--skip-legacy",
+        action="store_true",
+        help="time only the vectorized engine (no baseline, no speedups)",
+    )
+    bench_parser.add_argument(
+        "--out",
+        default="BENCH_trace_engine.json",
+        help="output JSON path (default: BENCH_trace_engine.json)",
+    )
+    bench_parser.set_defaults(func=_cmd_bench)
+
     return parser
 
 
@@ -265,6 +309,40 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(outcome.error, file=sys.stderr)
             exit_code = 1
     return exit_code
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    # Imported lazily: the bench harness drags in the whole simulation stack.
+    from repro.bench import DEFAULT_REPEATS, run_benchmarks
+
+    cases = None
+    if args.packs:
+        cases = [(name, args.max_vertices) for name in args.packs]
+    document = run_benchmarks(
+        cases=cases,
+        repeats=args.repeats if args.repeats is not None else DEFAULT_REPEATS,
+        quick=args.quick,
+        include_legacy=not args.skip_legacy,
+        out=args.out,
+    )
+    for entry in document["results"]:
+        scale = entry["max_vertices"] if entry["max_vertices"] else "default"
+        line = (
+            f"{entry['pack']:<18} scale={scale:<8} runs={entry['runs']:<4} "
+            f"vectorized={entry['vectorized_s']:.3f}s"
+        )
+        if entry["legacy_s"] is not None:
+            line += f"  legacy={entry['legacy_s']:.3f}s  speedup={entry['speedup']:.2f}x"
+        print(line)
+    summary = document["summary"]
+    if summary["overall_speedup"] is not None:
+        print(
+            f"overall: {summary['total_legacy_s']:.3f}s -> "
+            f"{summary['total_vectorized_s']:.3f}s "
+            f"({summary['overall_speedup']:.2f}x)"
+        )
+    print(f"wrote {args.out}")
+    return 0
 
 
 def _cmd_export(args: argparse.Namespace) -> int:

@@ -57,6 +57,17 @@ def span_lines(start_byte: int, num_bytes: int, line_bytes: int = CACHELINE_BYTE
     return range(first, last + 1)
 
 
+def span_line_counts(
+    start_bytes: np.ndarray, num_bytes: np.ndarray, line_bytes: int = CACHELINE_BYTES
+) -> np.ndarray:
+    """Vectorized line count of :func:`span_lines` for arrays of accesses."""
+    start_bytes = np.asarray(start_bytes, dtype=np.int64)
+    num_bytes = np.asarray(num_bytes, dtype=np.int64)
+    last = (start_bytes + num_bytes - 1) // line_bytes
+    first = start_bytes // line_bytes
+    return np.where(num_bytes > 0, last - first + 1, 0)
+
+
 @dataclass
 class EncodedFeatures:
     """A feature matrix encoded into a specific format.
@@ -98,6 +109,21 @@ class FeatureLayout(ABC):
     @abstractmethod
     def row_read_lines(self, row: int) -> np.ndarray:
         """Absolute cacheline addresses touched when reading row ``row``."""
+
+    def row_read_line_counts(self) -> np.ndarray:
+        """Number of cachelines each row read transfers, for every row.
+
+        The performance simulator replays every feature-row access at this
+        granularity, so the whole table is its inner-loop input.  Concrete
+        layouts override this with closed-form array arithmetic; this
+        default materialises each row's line list and is the reference the
+        unit tests compare the overrides against.
+        """
+        return np.fromiter(
+            (self.row_read_lines(row).size for row in range(self.num_rows)),
+            dtype=np.int64,
+            count=self.num_rows,
+        )
 
     @abstractmethod
     def row_read_bytes(self, row: int) -> int:

@@ -40,6 +40,7 @@ from repro.formats.base import (
     FeatureFormat,
     FeatureLayout,
     bytes_to_lines,
+    span_line_counts,
     validate_row_nnz,
 )
 
@@ -61,23 +62,34 @@ def _split_row_nnz(row_nnz: np.ndarray, width: int, slice_size: int) -> np.ndarr
     """
     num_slices = (width + slice_size - 1) // slice_size
     rows = row_nnz.size
-    slice_nnz = np.zeros((rows, num_slices), dtype=np.int64)
     slice_widths = np.full(num_slices, slice_size, dtype=np.int64)
     if width % slice_size:
         slice_widths[-1] = width % slice_size
-    for row in range(rows):
-        remaining = int(row_nnz[row])
-        base = remaining // num_slices
-        counts = np.minimum(np.full(num_slices, base, dtype=np.int64), slice_widths)
-        leftover = remaining - int(counts.sum())
-        slot = 0
-        while leftover > 0:
-            if counts[slot] < slice_widths[slot]:
-                counts[slot] += 1
-                leftover -= 1
-            slot = (slot + 1) % num_slices
-        slice_nnz[row] = counts
-    return slice_nnz
+
+    # Base fill: nnz // slices everywhere, capped by each slice's width.
+    row_nnz = row_nnz.astype(np.int64)
+    base = row_nnz // num_slices
+    counts = np.minimum(base[:, None], slice_widths[None, :])
+    leftover = row_nnz - counts.sum(axis=1)
+
+    # The remainder is dealt round-robin over the slices that still have
+    # headroom: `t` full deal rounds give every open slice min(headroom, t)
+    # extra units.  Binary-search the largest t whose give-out still fits,
+    # then hand the last partial round to the lowest-indexed open slices.
+    headroom = slice_widths[None, :] - counts
+    low = np.zeros(rows, dtype=np.int64)
+    high = np.full(rows, int(headroom.max(initial=0)), dtype=np.int64)
+    while np.any(low < high):
+        mid = (low + high + 1) // 2
+        fits = np.minimum(headroom, mid[:, None]).sum(axis=1) <= leftover
+        low = np.where(fits, mid, low)
+        high = np.where(fits, high, mid - 1)
+    full_rounds = np.minimum(headroom, low[:, None])
+    remainder = leftover - full_rounds.sum(axis=1)
+    open_slice = headroom > low[:, None]
+    rank = np.cumsum(open_slice, axis=1)
+    counts += full_rounds + (open_slice & (rank <= remainder[:, None]))
+    return counts
 
 
 class BEICSRLayout(FeatureLayout):
@@ -115,6 +127,13 @@ class BEICSRLayout(FeatureLayout):
             count = self._slice_read_lines(self.slice_nnz[row, slice_index])
             lines.append(np.arange(slice_base, slice_base + count, dtype=np.int64))
         return np.concatenate(lines) if lines else np.zeros(0, dtype=np.int64)
+
+    def row_read_line_counts(self) -> np.ndarray:
+        # bytes_to_lines over the whole (rows, slices) matrix, summed per row.
+        slice_lines = (
+            self._bitmap_bytes + self.slice_nnz * ELEMENT_BYTES + CACHELINE_BYTES - 1
+        ) // CACHELINE_BYTES
+        return slice_lines.sum(axis=1).astype(np.int64)
 
     def row_read_bytes(self, row: int) -> int:
         self._check_row(row)
@@ -181,6 +200,12 @@ class PackedBEICSRLayout(FeatureLayout):
             self.data_base + int(self.row_offsets[row]), int(self.row_bytes[row])
         )
         return np.concatenate([pointer_lines, data_lines])
+
+    def row_read_line_counts(self) -> np.ndarray:
+        rows = np.arange(self.num_rows, dtype=np.int64)
+        return span_line_counts(
+            self.pointer_base + rows * POINTER_BYTES, 2 * POINTER_BYTES
+        ) + span_line_counts(self.data_base + self.row_offsets[:-1], self.row_bytes)
 
     def row_read_bytes(self, row: int) -> int:
         self._check_row(row)

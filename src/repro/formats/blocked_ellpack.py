@@ -23,6 +23,7 @@ from repro.formats.base import (
     FeatureFormat,
     FeatureLayout,
     bytes_to_lines,
+    span_line_counts,
     validate_row_nnz,
 )
 from repro.formats.bsr import _expected_nonempty_blocks
@@ -92,6 +93,17 @@ class BlockedEllpackLayout(FeatureLayout):
         data_start = self.data_base + block_row * self.blockrow_data_lines * CACHELINE_BYTES
         data_lines = self._span(data_start, num_blocks * self.block_bytes)
         return np.concatenate([idx_lines, data_lines])
+
+    def row_read_line_counts(self) -> np.ndarray:
+        block_row = np.arange(self.num_rows, dtype=np.int64) // self.block_rows
+        num_blocks = self.actual_blocks[block_row]
+        data_starts = (
+            self.data_base + block_row * self.blockrow_data_lines * CACHELINE_BYTES
+        )
+        return span_line_counts(
+            self.idx_base + block_row * self.blocks_per_blockrow * INDEX_BYTES,
+            num_blocks * INDEX_BYTES,
+        ) + span_line_counts(data_starts, num_blocks * self.block_bytes)
 
     def row_read_bytes(self, row: int) -> int:
         self._check_row(row)

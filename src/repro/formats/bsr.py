@@ -24,6 +24,7 @@ from repro.formats.base import (
     FeatureFormat,
     FeatureLayout,
     bytes_to_lines,
+    span_line_counts,
     validate_row_nnz,
 )
 
@@ -107,6 +108,18 @@ class BSRLayout(FeatureLayout):
             self.data_base + offset * self.block_bytes, num_blocks * self.block_bytes
         )
         return np.concatenate([ptr_lines, idx_lines, data_lines])
+
+    def row_read_line_counts(self) -> np.ndarray:
+        block_row = np.arange(self.num_rows, dtype=np.int64) // self.block_rows
+        num_blocks = self.blocks_per_blockrow[block_row]
+        offset = self.block_offsets[block_row]
+        return (
+            span_line_counts(self.ptr_base + block_row * INDEX_BYTES, 2 * INDEX_BYTES)
+            + span_line_counts(self.idx_base + offset * INDEX_BYTES, num_blocks * INDEX_BYTES)
+            + span_line_counts(
+                self.data_base + offset * self.block_bytes, num_blocks * self.block_bytes
+            )
+        )
 
     def row_read_bytes(self, row: int) -> int:
         self._check_row(row)

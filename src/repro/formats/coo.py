@@ -22,6 +22,7 @@ from repro.formats.base import (
     FeatureFormat,
     FeatureLayout,
     bytes_to_lines,
+    span_line_counts,
     validate_row_nnz,
 )
 
@@ -61,6 +62,13 @@ class COOLayout(FeatureLayout):
             self.triples_base + offset * TRIPLE_BYTES, nnz * TRIPLE_BYTES
         )
         return np.concatenate([offset_lines, triple_lines])
+
+    def row_read_line_counts(self) -> np.ndarray:
+        rows = np.arange(self.num_rows, dtype=np.int64)
+        return span_line_counts(self.offsets_base + rows * 4, 8) + span_line_counts(
+            self.triples_base + self.row_offsets[:-1] * TRIPLE_BYTES,
+            self.row_nnz * TRIPLE_BYTES,
+        )
 
     def row_read_bytes(self, row: int) -> int:
         self._check_row(row)

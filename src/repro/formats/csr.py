@@ -22,6 +22,7 @@ from repro.formats.base import (
     FeatureFormat,
     FeatureLayout,
     bytes_to_lines,
+    span_line_counts,
     validate_row_nnz,
 )
 
@@ -70,6 +71,16 @@ class CSRLayout(FeatureLayout):
         idx_lines = self._span(self.colidx_base + offset * INDEX_BYTES, nnz * INDEX_BYTES)
         val_lines = self._span(self.values_base + offset * ELEMENT_BYTES, nnz * ELEMENT_BYTES)
         return np.concatenate([ptr_lines, idx_lines, val_lines])
+
+    def row_read_line_counts(self) -> np.ndarray:
+        rows = np.arange(self.num_rows, dtype=np.int64)
+        offsets = self.row_offsets[:-1]
+        nnz = self.row_nnz
+        return (
+            span_line_counts(self.rowptr_base + rows * INDEX_BYTES, 2 * INDEX_BYTES)
+            + span_line_counts(self.colidx_base + offsets * INDEX_BYTES, nnz * INDEX_BYTES)
+            + span_line_counts(self.values_base + offsets * ELEMENT_BYTES, nnz * ELEMENT_BYTES)
+        )
 
     def row_read_bytes(self, row: int) -> int:
         self._check_row(row)

@@ -39,6 +39,9 @@ class DenseLayout(FeatureLayout):
         start = self.base_line + row * self.row_lines
         return np.arange(start, start + self.row_lines, dtype=np.int64)
 
+    def row_read_line_counts(self) -> np.ndarray:
+        return np.full(self.num_rows, self.row_lines, dtype=np.int64)
+
     def row_read_bytes(self, row: int) -> int:
         self._check_row(row)
         return self.row_lines * CACHELINE_BYTES

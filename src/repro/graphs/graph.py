@@ -10,6 +10,7 @@ simulators and the numpy GCN layers need.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, Optional, Sequence, Tuple
 
 import numpy as np
@@ -67,6 +68,25 @@ class CSRGraph:
         self.indices = indices.astype(np.int64)
         self.weights = weights
         self.name = name
+        self._fingerprint: Optional[str] = None
+
+    def fingerprint(self) -> str:
+        """Stable content digest of the topology (indptr + indices).
+
+        Used as the graph component of cross-run cache keys (the
+        :class:`repro.memory.replay.TraceCache` owned by a session): two
+        graph objects with the same fingerprint produce identical access
+        traces for any schedule.  Weights are excluded — they never affect
+        trace construction.  Computed lazily and memoized; callers must not
+        mutate ``indptr``/``indices`` after construction (nothing in the
+        library does).
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha1()
+            digest.update(np.ascontiguousarray(self.indptr).tobytes())
+            digest.update(np.ascontiguousarray(self.indices).tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------ #
     # Basic properties
@@ -223,24 +243,23 @@ class CSRGraph:
         if np.sort(permutation).tolist() != list(range(self.num_vertices)):
             raise GraphError("permutation must be a bijection over the vertex ids")
 
-        inverse = np.empty_like(permutation)
-        inverse[permutation] = np.arange(self.num_vertices, dtype=np.int64)
+        # One stable sort of all edges by (new source, new destination)
+        # reproduces the per-row relabel-and-sort exactly: row blocks stay
+        # contiguous and within each row the destinations come out sorted
+        # (ties keep their original CSR order, as a per-row stable argsort
+        # would).
+        num_vertices = self.num_vertices
+        new_src = permutation[
+            np.repeat(np.arange(num_vertices, dtype=np.int64), self.degrees)
+        ]
+        new_dst = permutation[self.indices]
+        order = np.argsort(new_src * num_vertices + new_dst, kind="stable")
 
-        new_indptr = np.zeros(self.num_vertices + 1, dtype=np.int64)
-        new_indices = np.empty_like(self.indices)
-        new_weights = np.empty_like(self.weights)
-        offset = 0
-        for new_src in range(self.num_vertices):
-            old_src = int(inverse[new_src])
-            start, stop = self.indptr[old_src], self.indptr[old_src + 1]
-            dests = permutation[self.indices[start:stop]]
-            order = np.argsort(dests, kind="stable")
-            count = stop - start
-            new_indices[offset : offset + count] = dests[order]
-            new_weights[offset : offset + count] = self.weights[start:stop][order]
-            offset += count
-            new_indptr[new_src + 1] = offset
-        return CSRGraph(new_indptr, new_indices, new_weights, name=self.name)
+        new_indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(np.bincount(new_src, minlength=num_vertices), out=new_indptr[1:])
+        return CSRGraph(
+            new_indptr, new_dst[order], self.weights[order], name=self.name
+        )
 
     def transpose(self) -> "CSRGraph":
         """Return the transposed graph (edges reversed)."""

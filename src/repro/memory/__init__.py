@@ -6,6 +6,12 @@ from repro.memory.cache import CacheSimulator, CacheStats
 from repro.memory.dram import DRAMModel, TrafficPattern
 from repro.memory.hierarchy import MemoryHierarchy, AccessStats
 from repro.memory.rowcache import RowCache, RowCacheStats
+from repro.memory.replay import (
+    ReplayEngine,
+    TraceCache,
+    replay_accesses,
+    replay_trace,
+)
 from repro.memory.energy import EnergyTable, EnergyBreakdown
 
 __all__ = [
@@ -13,6 +19,10 @@ __all__ = [
     "CacheStats",
     "RowCache",
     "RowCacheStats",
+    "ReplayEngine",
+    "TraceCache",
+    "replay_accesses",
+    "replay_trace",
     "DRAMModel",
     "TrafficPattern",
     "MemoryHierarchy",

@@ -1,0 +1,423 @@
+"""Vectorized trace replay through the row-granularity LRU cache model.
+
+:class:`~repro.memory.rowcache.RowCache` replays a feature-access trace one
+access at a time through an ``OrderedDict`` — exact, but pure Python, and the
+single hottest loop of every simulation (one replay per feature pass per
+layer per run).  This module computes the *same statistics* for a whole trace
+with numpy, using a classical property of fully-associative evict-until-fit
+LRU caches:
+
+    An access to row ``r`` hits iff ``r`` was accessed before and
+    ``size[r] + U <= capacity``, where ``U`` is the total size of the
+    *distinct installable* rows accessed since ``r``'s previous access
+    (installable = not larger than the whole cache, which streams through
+    without being installed).
+
+The proof sketch: contents always form a prefix of the recency stack
+(eviction only removes the LRU tail, exactly until the new row fits), and
+every row accessed since ``r``'s previous access is either still resident
+above ``r`` or was never installed — if it had been evicted, ``r`` (older)
+would have been evicted first.  With one fixed size per row — which is how
+every replay in this repository works, the per-pass size table — the
+condition is exact, and matches ``RowCache.access_trace`` bit for bit (the
+golden equivalence tests pin this).
+
+The distinct-footprint sums are reuse-interval computations.  We evaluate
+them with an offline mergesort tree: for every access ``i`` with previous
+occurrence ``p``, the sum of ``w[j]`` over window positions ``p < j < i``
+whose own previous occurrence lies at or before ``p`` (i.e. the first
+in-window occurrence of each distinct row).  The tree's permutations and
+query positions depend only on the *trace*, not on the sizes, so the
+structure is built once per trace (:class:`ReplayEngine`) and each
+evaluation — per feature pass, per layer, per accelerator configuration —
+is a handful of gathers and cumulative sums.  :class:`TraceCache` memoizes
+the engines (and the traces they replay) across runs; a sweep over N
+accelerators x M cache sizes builds each trace structure once instead of
+N x M times.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import replace
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.memory.rowcache import RowCache, RowCacheStats
+
+#: Index dtype of the precomputed tree structure.  Traces are bounded far
+#: below 2**31 accesses (they are per-pass edge counts), so 32-bit indices
+#: halve the structure's footprint.
+_INDEX_DTYPE = np.int32
+
+
+def _previous_occurrences(trace: np.ndarray) -> np.ndarray:
+    """Index of each access's previous occurrence of the same row (-1 if none)."""
+    n = trace.size
+    prev = np.full(n, -1, dtype=np.int64)
+    if n < 2:
+        return prev
+    order = np.argsort(trace, kind="stable")
+    sorted_rows = trace[order]
+    same = sorted_rows[1:] == sorted_rows[:-1]
+    prev[order[1:][same]] = order[:-1][same]
+    return prev
+
+
+class ReplayEngine:
+    """Array-based replay of one access trace through the LRU row cache.
+
+    The engine precomputes everything that depends only on the trace — the
+    previous-occurrence links and the mergesort-tree used for the
+    distinct-footprint sums — so that :meth:`replay` / :meth:`replay_many`
+    evaluate a new per-row size table (a new feature pass or layer) without
+    touching a Python loop.
+
+    Args:
+        trace: ``int64`` row ids in access order (one entry per feature-row
+            access), as produced by
+            :func:`repro.accelerator.tiling.aggregation_access_trace`.
+        pinned: Optional row ids held in a dedicated cache partition (EnGN's
+            DAVC).  Their accesses always hit and never compete for the
+            shared capacity; the engine filters them out of the replayed
+            trace and accounts for them analytically, reproducing the
+            pinned-partition semantics of the simulator in one place.
+    """
+
+    def __init__(self, trace: np.ndarray, pinned: Optional[np.ndarray] = None) -> None:
+        trace = np.ascontiguousarray(trace, dtype=np.int64)
+        if trace.ndim != 1:
+            raise ConfigurationError("trace must be a one-dimensional array")
+        self.total_accesses = int(trace.size)
+
+        if pinned is not None and len(pinned) and trace.size:
+            pinned = np.asarray(pinned, dtype=np.int64)
+            lookup = np.zeros(int(trace.max()) + 1, dtype=bool)
+            lookup[pinned[pinned <= trace.max()]] = True
+            pinned_mask = lookup[trace]
+            self.pinned_rows = trace[pinned_mask]
+            self.trace = trace[~pinned_mask]
+        else:
+            self.pinned_rows = np.zeros(0, dtype=np.int64)
+            self.trace = trace
+
+        self.prev = _previous_occurrences(self.trace)
+        # Eval-loop constants: clipped previous-occurrence index (+1, for the
+        # exclusive prefix-sum lookup) and the repeat-access mask.
+        self._prev_plus1 = np.where(self.prev >= 0, self.prev, 0) + 1
+        self._seen_before = self.prev >= 0
+        self._build_structure(self.trace.size, self.prev)
+        # Result memo keyed by (size-table digest, capacity).  Dense-style
+        # formats feed the same constant table for every layer and pass of a
+        # run, so most evaluations of an engine repeat a previous one.
+        self._memo: "OrderedDict[Tuple[str, int], RowCacheStats]" = OrderedDict()
+        self.memo_hits = 0
+
+    # ------------------------------------------------------------------ #
+    # Structure construction (trace-only, size-independent)
+    # ------------------------------------------------------------------ #
+    def _build_structure(self, n: int, prev: np.ndarray) -> None:
+        """Flattened mergesort tree for the windowed distinct-footprint sums.
+
+        Every (contributor ``j``, query ``i``) pair with ``j < i`` is
+        separated at exactly one level: the one where they fall in sibling
+        halves of the same block.  At that level the contribution of ``j``
+        to ``i`` is ``w[j]`` iff ``prev[j] > prev[i]`` (``j`` is *not* the
+        first in-window occurrence of its row; these duplicates are
+        subtracted from the plain interval sum).  Per level the left-half
+        positions are sorted by ``prev`` within each block, and each query's
+        contribution is a suffix sum of its sibling block's segment.
+
+        All levels are concatenated into one workspace so that an
+        evaluation is a handful of large array operations rather than a few
+        small ones per level: one gather of the weights through
+        ``_gather``, one cumulative sum (prefix sums taken strictly inside
+        one segment, so concatenation never leaks across blocks), one
+        suffix-sum lookup per query via ``_lo``/``_hi``, and one exact
+        integer segment reduction (``np.add.reduceat``) that folds the
+        per-level contributions of each query together (``_reduce_starts``
+        / ``_query_rows``).  Everything here depends only on the trace,
+        never on the size tables.
+        """
+        if n < 2 or not np.any(prev >= 0):
+            self._gather = np.zeros(0, dtype=_INDEX_DTYPE)
+            self._reduce_starts = np.zeros(0, dtype=_INDEX_DTYPE)
+            self._query_rows = np.zeros(0, dtype=_INDEX_DTYPE)
+            self._lo = np.zeros(0, dtype=_INDEX_DTYPE)
+            self._hi = np.zeros(0, dtype=_INDEX_DTYPE)
+            return
+
+        # Position j is a contributor at level l (1-based, half-width
+        # 2**(l-1)) iff bit l-1 of j is 0 (left half of its block), a query
+        # iff that bit is 1; (level, block) pairs are numbered like heap
+        # nodes so the whole tree flattens into ONE sort.  First occurrences
+        # (prev < 0) are dropped from both sides outright: they can never
+        # satisfy prev[j] > prev[i] >= 0.
+        num_levels = max(1, int(np.ceil(np.log2(n))))
+        levels = np.arange(1, num_levels + 1, dtype=np.int64)
+        positions = np.arange(n, dtype=np.int64)
+        seen = prev >= 0
+        side = (positions[None, :] >> (levels[:, None] - 1)) & 1
+        level_of, pos_of = np.nonzero((side == 0) & seen[None, :])
+        level_of += 1
+        node_of = (np.int64(1) << (num_levels - level_of)) + (pos_of >> level_of)
+
+        q_level, q_pos = np.nonzero((side == 1) & seen[None, :])
+        q_level += 1
+        q_node = (np.int64(1) << (num_levels - q_level)) + (q_pos >> q_level)
+        node_space = (np.int64(1) << num_levels) + 1
+
+        span = np.int64(n) + 2
+        key = node_of * span + (prev[pos_of] + 1)
+        order = np.argsort(key, kind="stable")
+        gather = pos_of[order]
+        sorted_key = key[order]
+        node_sorted = node_of[order]
+
+        # A query is live iff some contributor of its node has a larger
+        # prev — i.e. its prev is below the node's maximum.  Each node's
+        # segment is prev-ascending, so a last-write-wins fancy assignment
+        # leaves exactly the per-node maximum; filtering on it *before* the
+        # searchsorted removes the (typically dominant) dead majority.
+        node_max_prev = np.full(node_space, -2, dtype=np.int64)
+        node_max_prev[node_sorted] = prev[gather]
+        live = prev[q_pos] < node_max_prev[q_node]
+        q_pos, q_node = q_pos[live], q_node[live]
+
+        lo = np.searchsorted(sorted_key, q_node * span + (prev[q_pos] + 1), side="right")
+        max_node = int(node_sorted[-1]) if node_sorted.size else 0
+        segment_ends = np.cumsum(np.bincount(node_sorted, minlength=max_node + 2))
+        hi = segment_ends[np.minimum(q_node, max_node + 1)]
+
+        # Group the per-level query entries by query position so one
+        # reduceat folds every level's contribution of a query together.
+        grouping = np.argsort(q_pos, kind="stable")
+        grouped = q_pos[grouping]
+        is_start = np.ones(grouped.size, dtype=bool)
+        if grouped.size:
+            is_start[1:] = grouped[1:] != grouped[:-1]
+        self._gather = gather.astype(_INDEX_DTYPE)
+        self._reduce_starts = np.flatnonzero(is_start).astype(_INDEX_DTYPE)
+        self._query_rows = grouped[is_start].astype(_INDEX_DTYPE)
+        self._lo = lo[grouping].astype(_INDEX_DTYPE)
+        self._hi = hi[grouping].astype(_INDEX_DTYPE)
+
+    def structure_bytes(self) -> int:
+        """Approximate memory footprint of the precomputed structure."""
+        return int(
+            self.prev.nbytes
+            + self.trace.nbytes
+            + self.pinned_rows.nbytes
+            + self._gather.nbytes
+            + self._reduce_starts.nbytes
+            + self._query_rows.nbytes
+            + self._lo.nbytes
+            + self._hi.nbytes
+        )
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def replay_many(
+        self, size_tables: Sequence[np.ndarray], capacity_lines: int
+    ) -> List[RowCacheStats]:
+        """Replay the trace once per size table (one table per feature pass).
+
+        Args:
+            size_tables: Per-row size lookup tables (indexed by row id), one
+                per pass; each pass starts from an empty cache, matching the
+                per-pass ``flush()`` of the reference path.
+            capacity_lines: Shared-cache capacity in cachelines.
+
+        Returns:
+            One :class:`RowCacheStats` per table, bit-identical to replaying
+            the same trace through :meth:`RowCache.access_trace`.
+        """
+        if capacity_lines <= 0:
+            raise ConfigurationError("cache capacity must be positive")
+        return [self._replay_one(table, capacity_lines) for table in size_tables]
+
+    #: Result-memo capacity; a run touches at most a few distinct tables.
+    MEMO_ENTRIES = 64
+
+    def _replay_one(self, table: np.ndarray, capacity_lines: int) -> RowCacheStats:
+        """Evaluate one size table; every operation is a flat 1-D array op."""
+        table = np.ascontiguousarray(table, dtype=np.int64)
+        memo_key = (array_token(table), int(capacity_lines))
+        cached = self._memo.get(memo_key)
+        if cached is not None:
+            self._memo.move_to_end(memo_key)
+            self.memo_hits += 1
+            return replace(cached)
+        stats = self._evaluate(table, capacity_lines)
+        self._memo[memo_key] = replace(stats)
+        while len(self._memo) > self.MEMO_ENTRIES:
+            self._memo.popitem(last=False)
+        return stats
+
+    def _evaluate(self, table: np.ndarray, capacity_lines: int) -> RowCacheStats:
+        n = self.trace.size
+        pinned_lines = int(table[self.pinned_rows].sum())
+        if n == 0:
+            return self._merge_pinned(0, 0, 0, 0, pinned_lines)
+
+        sizes = table[self.trace]  # true per-access sizes
+        weights = np.where(sizes <= capacity_lines, sizes, 0)
+
+        cumulative = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(weights, out=cumulative[1:])
+        # footprint = (interval sum) - duplicates = distinct in-window sizes
+        footprint = cumulative[:-1] - cumulative[self._prev_plus1]
+        footprint += sizes
+
+        # Duplicate-occurrence sums via the flattened tree: one gather, one
+        # cumulative sum, one suffix-sum lookup, one exact segment reduction.
+        if self._gather.size:
+            permuted = weights[self._gather]
+            tree_cumulative = np.zeros(permuted.size + 1, dtype=np.int64)
+            np.cumsum(permuted, out=tree_cumulative[1:])
+            contributions = tree_cumulative[self._hi]
+            contributions -= tree_cumulative[self._lo]
+            footprint[self._query_rows] -= np.add.reduceat(
+                contributions, self._reduce_starts
+            )
+
+        hit = footprint <= capacity_lines
+        hit &= self._seen_before
+
+        hits = int(np.count_nonzero(hit))
+        hit_lines = int(sizes.sum(where=hit, initial=0))
+        miss_lines = int(sizes.sum()) - hit_lines
+        return self._merge_pinned(n, hits, hit_lines, miss_lines, pinned_lines)
+
+    def replay(self, sizes: np.ndarray, capacity_lines: int) -> RowCacheStats:
+        """Replay the trace once against one per-row size table."""
+        return self.replay_many([np.asarray(sizes)], capacity_lines)[0]
+
+    def _merge_pinned(
+        self, accesses: int, hits: int, hit_lines: int, miss_lines: int, pinned_lines: int
+    ) -> RowCacheStats:
+        accesses += self.pinned_rows.size
+        hits += self.pinned_rows.size
+        hit_lines += pinned_lines
+        return RowCacheStats(
+            accesses=accesses,
+            hits=hits,
+            misses=accesses - hits,
+            miss_lines=miss_lines,
+            hit_lines=hit_lines,
+        )
+
+
+def replay_trace(
+    trace: np.ndarray, sizes: np.ndarray, capacity_lines: int
+) -> RowCacheStats:
+    """One-shot vectorized equivalent of ``RowCache(c).access_trace(trace, sizes)``."""
+    return ReplayEngine(trace).replay(sizes, capacity_lines)
+
+
+def replay_accesses(
+    rows: np.ndarray, sizes_per_access: np.ndarray, capacity_lines: int
+) -> RowCacheStats:
+    """Replay a trace whose sizes are given *per access* rather than per row.
+
+    When every access of a row carries the same size (the only shape the
+    simulator produces), this dispatches to the vectorized engine.  Traces
+    that re-access a row with a different size exercise the resize-on-
+    reaccess semantics of :class:`RowCache` (miss for the delta only), which
+    have no closed-form stack characterization; those fall back to the
+    reference implementation so the answer stays exact.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    sizes_per_access = np.asarray(sizes_per_access, dtype=np.int64)
+    if rows.shape != sizes_per_access.shape:
+        raise ConfigurationError("rows and sizes_per_access must align")
+    if rows.size == 0:
+        return RowCache(capacity_lines).stats
+
+    order = np.argsort(rows, kind="stable")
+    sorted_rows = rows[order]
+    sorted_sizes = sizes_per_access[order]
+    same = sorted_rows[1:] == sorted_rows[:-1]
+    constant = bool(np.all(sorted_sizes[1:][same] == sorted_sizes[:-1][same]))
+    if constant:
+        table = np.zeros(int(rows.max()) + 1, dtype=np.int64)
+        table[rows] = sizes_per_access
+        return ReplayEngine(rows).replay(table, capacity_lines)
+
+    cache = RowCache(capacity_lines)
+    for row, size in zip(rows.tolist(), sizes_per_access.tolist()):
+        cache.access(row, size)
+    return cache.stats
+
+
+class TraceCache:
+    """LRU memo for traces, replay engines, and derived graphs.
+
+    The keys are composite hashable tuples built by the simulator from a
+    graph fingerprint plus the schedule knobs (tiling plan, engine count and
+    partitioning, strip height).  Everything stored here depends only on
+    (dataset, tiling plan, engine partition, format) — never on the
+    accelerator's *timing* knobs — so a sweep over N accelerator
+    configurations x M cache sizes rebuilds each entry once instead of
+    N x M times.  :class:`repro.core.session.Session` owns one instance and
+    threads it through every run.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ConfigurationError("max_entries must be at least 1")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable, builder: Callable[[], object]) -> object:
+        """Return the cached value for ``key``, building and storing on miss."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+        value = builder()
+        self.misses += 1
+        self._entries[key] = value
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry (the hit/miss counters survive)."""
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/size counters, e.g. for benchmark reports."""
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+
+def array_token(array: np.ndarray) -> str:
+    """Short stable digest of an array's contents, for composite cache keys."""
+    digest = hashlib.sha1()
+    array = np.ascontiguousarray(array)
+    digest.update(str(array.dtype).encode())
+    digest.update(str(array.shape).encode())
+    digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+__all__ = [
+    "ReplayEngine",
+    "TraceCache",
+    "array_token",
+    "replay_accesses",
+    "replay_trace",
+]

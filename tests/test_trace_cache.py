@@ -1,0 +1,115 @@
+"""Session-level trace caching and the bench harness."""
+
+import json
+
+import pytest
+
+from repro.accelerator.simulator import get_replay_backend, set_replay_backend
+from repro.core.runspec import RunSpec
+from repro.core.session import Session
+from repro.experiments.cli import main
+
+
+@pytest.fixture(autouse=True)
+def restore_backend():
+    previous = get_replay_backend()
+    yield
+    set_replay_backend(previous)
+
+
+class TestSessionTraceCache:
+    def test_sweep_over_timing_knobs_reuses_traces(self):
+        # Cache-size and frequency overrides change timing, not the schedule
+        # shape here: plan_tiling sees the same inputs, so the trace and its
+        # replay structure are built once and reused across the grid.
+        session = Session()
+        specs = [
+            RunSpec(
+                dataset="cora",
+                accelerator="gcnax",
+                max_vertices=128,
+                overrides={"frequency_ghz": freq},
+            )
+            for freq in (0.8, 1.0, 1.2, 1.4)
+        ]
+        session.run_many(specs)
+        stats = session.trace_cache.stats()
+        assert stats["misses"] <= 2  # one trace + one engine
+        assert stats["hits"] >= len(specs) - 1
+
+    def test_cached_results_identical_to_cold_session(self):
+        spec = RunSpec(dataset="citeseer", accelerator="sgcn", max_vertices=128)
+        warm = Session()
+        first = warm.run(spec).to_dict()
+        second = warm.run(spec).to_dict()  # trace-cache hit path
+        cold = Session().run(spec).to_dict()
+        assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+        assert json.dumps(first, sort_keys=True) == json.dumps(cold, sort_keys=True)
+
+    def test_reordered_graph_cached_for_igcn(self):
+        session = Session()
+        spec = RunSpec(dataset="cora", accelerator="igcn", max_vertices=128)
+        session.run(spec)
+        misses_after_first = session.trace_cache.stats()["misses"]
+        session.run(spec)
+        assert session.trace_cache.stats()["misses"] == misses_after_first
+
+    def test_clear_caches_drops_traces(self):
+        session = Session()
+        session.run(RunSpec(dataset="cora", accelerator="gcnax", max_vertices=128))
+        assert len(session.trace_cache) > 0
+        session.clear_caches()
+        assert len(session.trace_cache) == 0
+
+    def test_legacy_backend_bypasses_trace_cache(self):
+        set_replay_backend("legacy")
+        session = Session()
+        session.run(RunSpec(dataset="cora", accelerator="gcnax", max_vertices=128))
+        assert len(session.trace_cache) == 0
+
+
+class TestBenchHarness:
+    def test_bench_pack_reports_speedup(self):
+        from repro.bench import bench_pack
+
+        result = bench_pack("hbm-generation", max_vertices=96, repeats=1)
+        assert result.runs == 18
+        assert result.vectorized_s > 0
+        assert result.legacy_s is not None and result.legacy_s > 0
+        assert result.speedup == result.legacy_s / result.vectorized_s
+        document = result.to_dict()
+        assert {"pack", "runs", "vectorized_s", "legacy_s", "speedup"} <= set(document)
+
+    def test_run_benchmarks_schema_and_output(self, tmp_path):
+        from repro.bench import BENCH_SCHEMA_VERSION, run_benchmarks
+
+        out = tmp_path / "BENCH_test.json"
+        document = run_benchmarks(
+            cases=[("hbm-generation", 96)], repeats=1, include_legacy=False, out=out
+        )
+        assert out.exists()
+        loaded = json.loads(out.read_text())
+        assert loaded == json.loads(json.dumps(document))
+        assert loaded["benchmark"] == "trace_engine"
+        assert loaded["schema_version"] == BENCH_SCHEMA_VERSION
+        assert loaded["results"][0]["legacy_s"] is None
+        assert loaded["summary"]["overall_speedup"] is None
+        assert loaded["summary"]["total_vectorized_s"] > 0
+
+    def test_backend_restored_after_bench(self):
+        from repro.bench import run_benchmarks
+
+        assert get_replay_backend() == "vectorized"
+        run_benchmarks(cases=[("hbm-generation", 96)], repeats=1)
+        assert get_replay_backend() == "vectorized"
+
+    def test_cli_bench_quick(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_quick.json"
+        code = main(["bench", "--quick", "--out", str(out)])
+        assert code == 0
+        assert out.exists()
+        loaded = json.loads(out.read_text())
+        assert loaded["quick"] is True
+        assert loaded["results"][0]["speedup"] is not None
+        stdout = capsys.readouterr().out
+        assert "speedup" in stdout and "wrote" in stdout
