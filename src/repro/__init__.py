@@ -50,6 +50,8 @@ from repro.core.config import (
     EngineConfig,
     SystemConfig,
 )
+from repro.accelerator.design import DESIGN_KNOBS, DesignPoint
+from repro.accelerator.registry import get_design, register_design
 from repro.accelerator.simulator import get_replay_backend, set_replay_backend
 from repro.core.runspec import RunSpec, SUPPORTED_OVERRIDES, build_config
 from repro.core.session import Session, default_session, reset_default_session
@@ -84,6 +86,10 @@ def __getattr__(name):
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
+    "DESIGN_KNOBS",
+    "DesignPoint",
+    "get_design",
+    "register_design",
     "CacheConfig",
     "DRAMConfig",
     "EngineConfig",

@@ -6,6 +6,12 @@ from repro.accelerator.engines import SIMDAggregationEngine, PrefixSumUnit
 from repro.accelerator.systolic import SystolicArray
 from repro.accelerator.aggregator import SparseAggregator
 from repro.accelerator.compressor import PostCombinationCompressor
+from repro.accelerator.design import (
+    BUILTIN_DESIGNS,
+    DESIGN_KNOBS,
+    DesignPoint,
+)
+from repro.accelerator.pipeline import simulate_design
 from repro.accelerator.simulator import (
     LayerWorkload,
     PhaseResult,
@@ -22,15 +28,25 @@ from repro.accelerator.baselines import (
 )
 from repro.accelerator.registry import (
     ACCELERATORS,
+    DESIGN_POINTS,
     available_accelerators,
     get_accelerator,
+    get_design,
     register_accelerator,
+    register_design,
     temporary_accelerator,
     unregister_accelerator,
 )
 from repro.accelerator.energy_model import AcceleratorEnergyModel
 
 __all__ = [
+    "BUILTIN_DESIGNS",
+    "DESIGN_KNOBS",
+    "DESIGN_POINTS",
+    "DesignPoint",
+    "get_design",
+    "register_design",
+    "simulate_design",
     "SIMDAggregationEngine",
     "PrefixSumUnit",
     "SystolicArray",

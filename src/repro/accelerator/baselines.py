@@ -1,22 +1,16 @@
-"""Baseline GCN accelerator models (the prior work SGCN is compared against).
+"""Baseline GCN accelerator models (deprecation shims).
 
-Each class configures the shared simulation machinery of
-:class:`repro.accelerator.simulator.AcceleratorModel` to reflect the design
-point the paper describes for that accelerator (Section VI-B and Table I):
+The baseline designs — GCNAX, HyGCN, AWB-GCN, EnGN, I-GCN — are declared as
+:class:`~repro.accelerator.design.DesignPoint` instances in
+:mod:`repro.accelerator.design` (see that module and the paper's Table I /
+Section VI-B for what each design does) and registered directly with the
+accelerator registry.  The subclasses below are kept only so existing code
+that imports or subclasses them keeps working; each is a thin shim whose
+class attributes mirror the canonical design point (the constructor lifts
+them into an equal :class:`DesignPoint`, which the golden design tests pin).
 
-* **GCNAX** — the paper's primary baseline: aggressive ("perfect") tiling of
-  both the topology and the feature matrix, dense intermediate features,
-  pipelined phases.
-* **HyGCN** — row-product hybrid engines, no topology/feature tiling, dense
-  features; suffers from low cache efficiency on large graphs.
-* **AWB-GCN** — column-product execution with runtime load balancing; reads
-  each input feature element exactly once but pays partial-sum read/write
-  traffic, and exploits feature sparsity only in the combination compute
-  (zero skipping), not in memory traffic.
-* **EnGN** — vertex tiling plus a degree-aware vertex cache that pins the
-  features of high-degree vertices on chip.
-* **I-GCN** — runtime islandization reordering that improves topology
-  locality and removes redundant aggregation compute.
+New code should use the registry (``get_accelerator("gcnax")``) or wrap a
+design point explicitly (``AcceleratorModel(GCNAX_DESIGN)``).
 """
 
 from __future__ import annotations
@@ -25,12 +19,10 @@ from repro.accelerator.simulator import AcceleratorModel
 
 
 class GCNAXAccelerator(AcceleratorModel):
-    """GCNAX: flexible dataflow with perfect topology/feature tiling.
+    """Deprecated shim for :data:`~repro.accelerator.design.GCNAX_DESIGN`.
 
-    Uses dense intermediate features; its tiling is sized off line assuming
-    dense rows, which is exact for it (dense rows really are dense), so its
-    cache behaviour is the best achievable without compressing features.
-    This is the normalisation baseline of Figs. 11-13.
+    GCNAX: flexible dataflow with perfect topology/feature tiling over dense
+    intermediate features — the normalisation baseline of Figs. 11-13.
     """
 
     name = "gcnax"
@@ -44,11 +36,10 @@ class GCNAXAccelerator(AcceleratorModel):
 
 
 class HyGCNAccelerator(AcceleratorModel):
-    """HyGCN: hybrid-architecture row-product execution without tiling.
+    """Deprecated shim for :data:`~repro.accelerator.design.HYGCN_DESIGN`.
 
-    The whole feature matrix is the aggregation working set, so the global
-    cache thrashes on graphs whose features exceed it — the dominant effect
-    in its Fig. 14 breakdown (almost all traffic is feature reads).
+    HyGCN: hybrid-architecture row-product execution without tiling; the
+    whole feature matrix is the aggregation working set.
     """
 
     name = "hygcn"
@@ -62,14 +53,11 @@ class HyGCNAccelerator(AcceleratorModel):
 
 
 class AWBGCNAccelerator(AcceleratorModel):
-    """AWB-GCN: column-product execution with runtime workload rebalancing.
+    """Deprecated shim for :data:`~repro.accelerator.design.AWB_GCN_DESIGN`.
 
-    Column-product aggregation reads every input feature element exactly
-    once (the transposed-graph trace touches each source row once per
-    destination tile), but partial output sums spill to and refill from
-    DRAM, which dominates its traffic (Fig. 14).  Feature sparsity is
-    exploited only as zero skipping in the combination compute, so it buys
-    no memory-traffic reduction.
+    AWB-GCN: column-product execution with runtime workload rebalancing;
+    partial-sum spills dominate its traffic, and feature sparsity is
+    exploited only as combination zero skipping.
     """
 
     name = "awb_gcn"
@@ -80,20 +68,15 @@ class AWBGCNAccelerator(AcceleratorModel):
     engine_partition = "contiguous"
     combination_zero_skipping = True
     sparse_first_layer = True
-    #: Column-product execution spills partial output sums and refills them:
-    #: roughly one extra transfer of the output matrix per layer on top of
-    #: what an output-stationary row-product design pays.
     psum_traffic_factor = 1.0
     target_layers = "2"
 
 
 class EnGNAccelerator(AcceleratorModel):
-    """EnGN: ring-edge-reduce dataflow with a degree-aware vertex cache.
+    """Deprecated shim for :data:`~repro.accelerator.design.ENGN_DESIGN`.
 
-    Vertex tiling bounds the working set (modelled as destination tiling with
-    a coarser fill) and the degree-aware vertex cache pins the feature rows
-    of the highest in-degree vertices, which captures a disproportionate
-    share of the random accesses on power-law graphs.
+    EnGN: ring-edge-reduce dataflow with deliberately coarse vertex tiling
+    and a degree-aware vertex cache pinning high in-degree rows.
     """
 
     name = "engn"
@@ -104,20 +87,15 @@ class EnGNAccelerator(AcceleratorModel):
     engine_partition = "contiguous"
     pins_high_degree_vertices = True
     pinned_cache_fraction = 0.25
-    #: EnGN's vertex tiling is coarser than GCNAX's perfect tiling, so the
-    #: working set of one tile deliberately overflows the cache; the pinned
-    #: degree-aware vertex cache claws part of the loss back.
     tiling_fill_fraction = 3.0
     target_layers = "2"
 
 
 class IGCNAccelerator(AcceleratorModel):
-    """I-GCN: runtime islandization for locality plus redundancy elimination.
+    """Deprecated shim for :data:`~repro.accelerator.design.IGCN_DESIGN`.
 
-    The breadth-first islandization reorders vertices so that densely
-    connected islands occupy consecutive ids, improving the reuse the cache
-    can capture; overlapping aggregation computation inside an island is
-    reused rather than recomputed, trimming aggregation work.
+    I-GCN: runtime islandization reordering for locality plus aggregation
+    redundancy elimination.
     """
 
     name = "igcn"
@@ -127,6 +105,5 @@ class IGCNAccelerator(AcceleratorModel):
     uses_destination_tiling = True
     engine_partition = "contiguous"
     reorders_graph = True
-    #: Fraction of aggregation compute remaining after redundancy reuse.
     aggregation_compute_scale = 0.85
     target_layers = "2"

@@ -1,0 +1,1150 @@
+"""The phase pipeline that executes a :class:`~repro.accelerator.design.DesignPoint`.
+
+The simulator follows the structure of the paper's evaluation methodology
+(Section VI-A) at a phase level rather than cycle-by-cycle.  This module is
+the *how* of a simulation; the *what* — the accelerator's design choices — is
+a plain :class:`~repro.accelerator.design.DesignPoint` consumed by every
+stage.  A full run is an explicit five-stage pipeline
+(:func:`simulate_design`):
+
+1. :func:`build_context` — resolve the graph the dataflow walks (locality
+   reordering, column-product transposition), the scaled cache capacity, and
+   the engine/DRAM/energy models;
+2. :func:`schedule` — plan the tiling, build the aggregation access trace,
+   and select the pinned-vertex partition;
+3. :func:`replay` — sample representative layers, build their per-row
+   transfer tables, and replay every cache access of the run (batched
+   through the vectorized engine when possible, per-layer otherwise);
+4. :func:`timing` — convert replay statistics and compute models into
+   per-layer cycles and traffic;
+5. :func:`energy` — price the counted events and assemble the
+   :class:`~repro.core.results.LayerResult` documents.
+
+Each stage is a small function over an explicit :class:`RunContext`, so a
+stage can be tested (or swapped) in isolation; none of them reads accelerator
+state from anywhere but the design point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.accelerator.design import DesignPoint
+from repro.accelerator.engines import SIMDAggregationEngine
+from repro.accelerator.systolic import SystolicArray
+from repro.accelerator.tiling import (
+    TilingPlan,
+    aggregation_access_trace,
+    aggregation_access_trace_reference,
+    locality_reordering,
+    locality_reordering_reference,
+    plan_tiling,
+)
+from repro.core.config import CACHELINE_BYTES, ELEMENT_BYTES, SystemConfig
+from repro.core.results import LayerResult, SimulationResult, TrafficBreakdown
+from repro.errors import SimulationError
+from repro.formats.base import FeatureFormat, bytes_to_lines
+from repro.gcn.sparsity import row_nonzero_distribution
+from repro.graphs.datasets import Dataset
+from repro.graphs.graph import CSRGraph
+from repro.memory.dram import DRAMModel, TrafficPattern
+from repro.memory.energy import EnergyTable
+from repro.memory.replay import ReplayEngine, TraceCache, array_token
+from repro.memory.rowcache import RowCache, RowCacheStats
+
+
+# --------------------------------------------------------------------------- #
+# Replay backend selection
+# --------------------------------------------------------------------------- #
+#: Supported trace-replay backends: the vectorized engine
+#: (:class:`repro.memory.replay.ReplayEngine`, the default) and the legacy
+#: per-access :class:`repro.memory.rowcache.RowCache` loop.  The two are
+#: bit-identical (pinned by the golden equivalence tests); the legacy backend
+#: exists as the reference implementation and as the baseline the
+#: ``repro bench`` harness measures speedups against.
+REPLAY_BACKENDS = ("vectorized", "legacy")
+
+#: The legacy backend restores the dominant pre-vectorization paths, not
+#: just the cache replay: loop-based trace generation and BFS reordering,
+#: per-row ``row_read_lines`` materialisation, and no cross-run trace
+#: caching.  (Two minor helpers — ``CSRGraph.reorder`` and BEICSR's
+#: ``_split_row_nnz`` — stay vectorized under either backend, so the
+#: ``repro bench`` baseline is slightly *faster* than the true pre-PR
+#: engine; recorded speedups are conservative.)  The golden tests use the
+#: same switch as a whole-pipeline equivalence check.
+_replay_backend = "vectorized"
+
+
+def set_replay_backend(name: str) -> str:
+    """Select the aggregation-trace replay backend; returns the previous one."""
+    global _replay_backend
+    if name not in REPLAY_BACKENDS:
+        raise SimulationError(
+            f"unknown replay backend {name!r}; choose from {REPLAY_BACKENDS}"
+        )
+    previous = _replay_backend
+    _replay_backend = name
+    return previous
+
+
+def get_replay_backend() -> str:
+    """Name of the active trace-replay backend."""
+    return _replay_backend
+
+
+# --------------------------------------------------------------------------- #
+# Workloads
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class LayerWorkload:
+    """One GCN layer as seen by the accelerator.
+
+    Attributes:
+        layer_index: Zero-based layer index.
+        width_in: Width of the input features ``X_l``.
+        width_out: Width of the output features ``X_{l+1}``.
+        input_sparsity: Sparsity of ``X_l``.
+        output_sparsity: Sparsity of ``X_{l+1}``.
+        is_first_layer: Whether ``X_l`` is the dataset's given input features.
+        edge_fraction: Fraction of edges processed (GraphSAGE sampling).
+        weighted_aggregation: Whether edge weights are streamed with the
+            topology (GCN yes, GINConv no).
+    """
+
+    layer_index: int
+    width_in: int
+    width_out: int
+    input_sparsity: float
+    output_sparsity: float
+    is_first_layer: bool = False
+    edge_fraction: float = 1.0
+    weighted_aggregation: bool = True
+
+
+#: Aggregation variants supported by :func:`build_workloads`.
+GCN_VARIANTS = ("gcn", "gin", "sage")
+
+#: Edge fraction retained by GraphSAGE's neighbour sampling (Fig. 16b).
+SAGE_EDGE_FRACTION = 0.6
+
+
+def build_workloads(dataset: Dataset, variant: str = "gcn") -> List[LayerWorkload]:
+    """Build the per-layer workloads of a deep residual GCN on ``dataset``.
+
+    Args:
+        dataset: Dataset (provides widths, layer count, sparsity profile).
+        variant: ``"gcn"``, ``"gin"``, or ``"sage"`` (paper Fig. 16).
+    """
+    variant = variant.lower()
+    if variant not in GCN_VARIANTS:
+        raise SimulationError(f"unknown GCN variant {variant!r}; choose from {GCN_VARIANTS}")
+    edge_fraction = SAGE_EDGE_FRACTION if variant == "sage" else 1.0
+    weighted = variant == "gcn"
+
+    profile = dataset.layer_sparsities()
+    hidden = dataset.hidden_width
+    workloads: List[LayerWorkload] = []
+    for index in range(dataset.num_layers):
+        if index == 0:
+            width_in = dataset.input_feature_width
+            input_sparsity = dataset.input_sparsity
+        else:
+            width_in = hidden
+            input_sparsity = profile[index - 1]
+        workloads.append(
+            LayerWorkload(
+                layer_index=index,
+                width_in=width_in,
+                width_out=hidden,
+                input_sparsity=float(input_sparsity),
+                output_sparsity=float(profile[index]),
+                is_first_layer=index == 0,
+                edge_fraction=edge_fraction,
+                weighted_aggregation=weighted,
+            )
+        )
+    return workloads
+
+
+@dataclass
+class PhaseResult:
+    """Cycle/traffic/compute accounting of one phase of one layer."""
+
+    cycles: float = 0.0
+    compute_cycles: float = 0.0
+    memory_cycles: float = 0.0
+    macs: float = 0.0
+    traffic: TrafficBreakdown = field(default_factory=TrafficBreakdown)
+    cache_accesses: float = 0.0
+    cache_hit_rate: float = 0.0
+
+
+# --------------------------------------------------------------------------- #
+# Stage 1: context construction
+# --------------------------------------------------------------------------- #
+@dataclass
+class RunContext:
+    """Objects built once per (design, dataset, config) run.
+
+    Stage 1 (:func:`build_context`) fills everything except the schedule;
+    stage 2 (:func:`schedule`) fills ``tiling``/``trace``/``pinned_vertices``.
+    """
+
+    design: DesignPoint
+    feature_format: FeatureFormat
+    dataset: Dataset
+    graph: CSRGraph
+    config: SystemConfig
+    cache_lines: int
+    simd: SIMDAggregationEngine
+    systolic: SystolicArray
+    dram: DRAMModel
+    energy_table: EnergyTable
+    #: Cross-run memo (owned by the Session) for traces/engines/derived graphs.
+    trace_cache: Optional[TraceCache] = None
+    #: Filled by :func:`schedule`.
+    tiling: Optional[TilingPlan] = None
+    trace: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    pinned_vertices: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64)
+    )
+    #: Key prefix identifying the trace within the cache (None = uncached).
+    trace_token: Optional[Tuple] = None
+    #: Lazily-built replay engines (built on first vectorized replay, so the
+    #: legacy backend never pays for a structure it will not use).
+    replay_engine: Optional[ReplayEngine] = None
+    replay_engine_full: Optional[ReplayEngine] = None
+
+    def engine(self) -> ReplayEngine:
+        """Replay engine with the pinned partition folded in."""
+        if self.replay_engine is None:
+            builder = lambda: ReplayEngine(self.trace, pinned=self.pinned_vertices)
+            if self.trace_cache is not None and self.trace_token is not None:
+                pinned_token = (
+                    array_token(self.pinned_vertices) if self.pinned_vertices.size else None
+                )
+                key = ("engine",) + self.trace_token + (pinned_token,)
+                self.replay_engine = self.trace_cache.get(key, builder)
+            else:
+                self.replay_engine = builder()
+        return self.replay_engine
+
+    def engine_full(self) -> ReplayEngine:
+        """Replay engine over the full trace (first-layer dense replay)."""
+        if not self.pinned_vertices.size:
+            return self.engine()
+        if self.replay_engine_full is None:
+            builder = lambda: ReplayEngine(self.trace)
+            if self.trace_cache is not None and self.trace_token is not None:
+                key = ("engine",) + self.trace_token + (None,)
+                self.replay_engine_full = self.trace_cache.get(key, builder)
+            else:
+                self.replay_engine_full = builder()
+        return self.replay_engine_full
+
+
+def _reordered_for_locality(graph: CSRGraph) -> CSRGraph:
+    # Islandization reorders vertices so islands occupy consecutive ids.  On
+    # graphs that already have a locality-friendly ordering the pass detects
+    # no profitable islands and leaves the order alone, so the reordering
+    # never degrades locality.
+    from repro.graphs.stats import clustering_score
+
+    reorder = (
+        locality_reordering
+        if _replay_backend == "vectorized"
+        else locality_reordering_reference
+    )
+    permutation = reorder(graph)
+    reordered = graph.reorder(permutation)
+    if clustering_score(reordered) >= clustering_score(graph):
+        return reordered
+    return graph
+
+
+def effective_cache_lines(dataset: Dataset, config: SystemConfig) -> int:
+    """Cache capacity (in lines) used for ``dataset``.
+
+    Datasets are simulated at a reduced scale; the cache is scaled by the
+    same factor so the working-set-to-cache ratio of the paper's
+    configuration is preserved, with a floor of a few dozen feature rows so
+    tiny scaled graphs still exercise the cache at all.
+    """
+    scaled = int(config.cache.num_lines * dataset.cache_scale())
+    dense_row_lines = bytes_to_lines(dataset.hidden_width * ELEMENT_BYTES)
+    floor = 32 * dense_row_lines
+    return int(min(config.cache.num_lines, max(floor, scaled)))
+
+
+def build_context(
+    design: DesignPoint,
+    fmt: FeatureFormat,
+    dataset: Dataset,
+    config: SystemConfig,
+    trace_cache: Optional[TraceCache] = None,
+) -> RunContext:
+    """Stage 1: resolve the graph, the scaled cache, and the engine models."""
+    # The legacy backend ignores the trace cache: the pre-vectorization
+    # engine rebuilt every trace per run, and the benchmark measures that.
+    if _replay_backend != "vectorized":
+        trace_cache = None
+    graph = dataset.graph
+    if design.reorders_graph:
+        if trace_cache is not None:
+            graph = trace_cache.get(
+                ("reordered", graph.fingerprint()),
+                lambda: _reordered_for_locality(graph),
+            )
+        else:
+            graph = _reordered_for_locality(graph)
+    if design.column_product:
+        # Column-product execution walks the transposed adjacency: for every
+        # destination column it gathers the corresponding input feature row,
+        # so the random feature accesses follow A^T.
+        if trace_cache is not None:
+            base = graph
+            graph = trace_cache.get(("transposed", base.fingerprint()), base.transpose)
+        else:
+            graph = graph.transpose()
+
+    return RunContext(
+        design=design,
+        feature_format=fmt,
+        dataset=dataset,
+        graph=graph,
+        config=config,
+        cache_lines=effective_cache_lines(dataset, config),
+        simd=SIMDAggregationEngine(config.engines),
+        systolic=SystolicArray(config.engines),
+        dram=DRAMModel(config.dram),
+        energy_table=EnergyTable(),
+        trace_cache=trace_cache,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Stage 2: schedule (tiling plan, access trace, pinned partition)
+# --------------------------------------------------------------------------- #
+def _format_slices_cleanly(fmt: FeatureFormat, width: int, passes: int) -> bool:
+    """Whether ``fmt`` can serve a ``passes``-way width split exactly.
+
+    Dense rows split at cacheline granularity.  Sliced BEICSR splits at
+    unit-slice (``C``) granularity, so it needs at least ``passes`` unit
+    slices across the width.  Whole-row-bitmap BEICSR, CSR, and COO cannot
+    locate a width slice without reading the preceding data, so they never
+    split cleanly.
+    """
+    if passes <= 1:
+        return True
+    if fmt.name in ("dense", "blocked_ellpack"):
+        return width // passes >= 1
+    slice_size = getattr(fmt, "slice_size", None)
+    if slice_size is None:
+        return False
+    return (width + slice_size - 1) // slice_size >= passes
+
+
+def _pass_access_overhead(
+    fmt: FeatureFormat, width: int, passes: int
+) -> Tuple[int, bool]:
+    """Per-access penalty of reading one width slice in ``fmt``.
+
+    Returns ``(extra_lines, aligned)``: formats that slice cleanly pay
+    nothing; formats that cannot (whole-row bitmaps, CSR, COO) must read
+    their embedded index plus a partially unaligned span to extract the
+    slice, costing roughly one extra cacheline per access and losing the
+    alignment guarantee (paper Section V-B).
+    """
+    if passes <= 1 or _format_slices_cleanly(fmt, width, passes):
+        return 0, fmt.aligned
+    return 1, False
+
+
+def _typical_row_lines(fmt: FeatureFormat, width: int, nnz: int) -> float:
+    """Cachelines per feature row for the given non-zero count."""
+    layout = fmt.build_layout(np.asarray([nnz], dtype=np.int64), width)
+    return float(layout.row_read_lines(0).size)
+
+
+def _select_pinned_vertices(
+    design: DesignPoint, graph: CSRGraph, cache_lines: int, row_lines: float
+) -> np.ndarray:
+    """Highest in-degree vertices whose rows fit the pinned cache share."""
+    in_degrees = np.zeros(graph.num_vertices, dtype=np.int64)
+    np.add.at(in_degrees, graph.indices, 1)
+    budget_rows = int(cache_lines * design.pinned_cache_fraction / max(row_lines, 1.0))
+    if budget_rows <= 0:
+        return np.zeros(0, dtype=np.int64)
+    return np.argsort(-in_degrees, kind="stable")[:budget_rows].astype(np.int64)
+
+
+def schedule(context: RunContext) -> RunContext:
+    """Stage 2: plan the tiling, build the access trace, pick pinned rows."""
+    design = context.design
+    fmt = context.feature_format
+    graph = context.graph
+    config = context.config
+    dataset = context.dataset
+    cache_lines = context.cache_lines
+
+    hidden_width = dataset.hidden_width
+    if design.assumed_tiling_sparsity is not None:
+        assumed_sparsity = design.assumed_tiling_sparsity
+    elif design.tile_with_average_sparsity:
+        assumed_sparsity = dataset.intermediate_sparsity
+    else:
+        assumed_sparsity = 0.0
+    assumed_nnz = int(round(hidden_width * (1.0 - assumed_sparsity)))
+    assumed_row_lines = _typical_row_lines(fmt, hidden_width, assumed_nnz)
+    output_row_lines = float(bytes_to_lines(hidden_width * ELEMENT_BYTES))
+    psum_buffer_lines = max(
+        int(cache_lines * design.psum_buffer_fraction), int(output_row_lines)
+    )
+
+    # GCNAX-style dataflows always process the feature matrix in width slices
+    # (two logical slices in the modelled configuration, matching the
+    # accumulation-buffer split); designs without source tiling (HyGCN)
+    # sweep the full width in one pass.
+    min_passes = design.dataflow_feature_passes if design.uses_source_tiling else 1
+    tiling = plan_tiling(
+        num_vertices=graph.num_vertices,
+        average_degree=graph.average_degree,
+        cache_lines=cache_lines,
+        psum_buffer_lines=psum_buffer_lines,
+        assumed_row_lines=assumed_row_lines,
+        output_row_lines=output_row_lines,
+        topology_bytes_per_edge=8.0,
+        supports_feature_slicing=_format_slices_cleanly(fmt, hidden_width, min_passes),
+        use_destination_tiling=design.uses_destination_tiling,
+        use_source_tiling=design.uses_source_tiling,
+        fill_fraction=design.tiling_fill_fraction,
+        min_feature_passes=min_passes,
+        max_feature_passes=max(min_passes, design.dataflow_feature_passes),
+    )
+
+    trace_token: Optional[Tuple] = None
+    if design.column_product:
+        # Column-product designs read every feature row exactly once per pass
+        # and pay partial-sum traffic instead; no feature-read reuse trace is
+        # needed.
+        trace = np.zeros(0, dtype=np.int64)
+    else:
+        # The trace depends only on the topology and the schedule knobs,
+        # never on the accelerator's timing parameters — key it on exactly
+        # those so a sweep over timing configurations reuses it.
+        trace_token = (
+            graph.fingerprint(),
+            tiling,
+            config.engines.num_aggregation_engines,
+            design.engine_partition,
+            config.sac_strip_height,
+        )
+        build_trace = (
+            aggregation_access_trace
+            if _replay_backend == "vectorized"
+            else aggregation_access_trace_reference
+        )
+        build = lambda: build_trace(
+            graph,
+            tiling,
+            num_engines=config.engines.num_aggregation_engines,
+            engine_partition=design.engine_partition,
+            strip_height=config.sac_strip_height,
+        )
+        if context.trace_cache is not None:
+            trace = context.trace_cache.get(("trace",) + trace_token, build)
+        else:
+            trace = build()
+
+    pinned = np.zeros(0, dtype=np.int64)
+    if design.pins_high_degree_vertices:
+        pinned = _select_pinned_vertices(design, graph, cache_lines, assumed_row_lines)
+
+    context.tiling = tiling
+    context.trace = trace
+    context.trace_token = trace_token
+    context.pinned_vertices = pinned
+    return context
+
+
+# --------------------------------------------------------------------------- #
+# Stage 3: replay (layer sampling, row tables, cache replays)
+# --------------------------------------------------------------------------- #
+@dataclass
+class AggregateReplay:
+    """Replay counters of one intermediate layer, summed over feature passes."""
+
+    accesses: int = 0
+    hits: int = 0
+    hit_lines: int = 0
+    miss_lines: int = 0
+
+
+@dataclass
+class ReplayedLayer:
+    """One sampled intermediate layer, ready for the timing stage."""
+
+    workload: LayerWorkload
+    weight: float
+    row_nnz: np.ndarray
+    row_lines: np.ndarray
+    pass_sizes: List[np.ndarray]
+    #: ``None`` for column-product designs (no feature-read reuse trace).
+    replay: Optional[AggregateReplay] = None
+
+
+@dataclass
+class ReplayOutcome:
+    """Stage-3 output: every cache replay of the run, plus the row tables."""
+
+    first_workload: LayerWorkload
+    layers: List[ReplayedLayer]
+    #: First-layer dense replay; ``None`` for column-product designs (the
+    #: dense intermediate is streamed once and never re-read).
+    first_stats: Optional[RowCacheStats] = None
+
+
+def _sample_layers(
+    workloads: Sequence[LayerWorkload], max_sampled: int
+) -> List[Tuple[LayerWorkload, float]]:
+    """Pick representative intermediate layers and their weights."""
+    count = len(workloads)
+    if count <= max_sampled:
+        return [(workload, 1.0) for workload in workloads]
+    positions = np.linspace(0, count - 1, max_sampled)
+    indices = sorted(set(int(round(position)) for position in positions))
+    weight = count / len(indices)
+    return [(workloads[index], weight) for index in indices]
+
+
+def _layer_row_tables(
+    fmt: FeatureFormat, workload: LayerWorkload, context: RunContext, seed: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-row non-zero counts for the layer's input features, and the
+    resulting per-row transfer sizes (in lines) under ``fmt``."""
+    num_vertices = context.graph.num_vertices
+    row_nnz = row_nonzero_distribution(
+        num_rows=num_vertices,
+        width=workload.width_in,
+        sparsity=workload.input_sparsity,
+        seed=seed + workload.layer_index,
+    )
+    layout = fmt.build_layout(row_nnz, workload.width_in)
+    if get_replay_backend() == "vectorized":
+        row_lines = layout.row_read_line_counts()
+    else:
+        row_lines = np.fromiter(
+            (layout.row_read_lines(row).size for row in range(num_vertices)),
+            dtype=np.int64,
+            count=num_vertices,
+        )
+    return row_nnz, row_lines
+
+
+def _pass_size_tables(
+    fmt: FeatureFormat,
+    workload: LayerWorkload,
+    context: RunContext,
+    row_lines: np.ndarray,
+) -> List[np.ndarray]:
+    """Lines transferred per access in each feature pass.
+
+    The row's lines are spread across the passes as evenly as integers allow
+    (a sliced format reads a different subset of unit slices per pass), so
+    the per-pass sizes sum back to the full row.  Formats that cannot be
+    read in width slices pay an extra (unaligned) line per access.
+    """
+    passes = context.tiling.feature_passes
+    extra_lines, _ = _pass_access_overhead(fmt, workload.width_in, passes)
+    base_lines = row_lines // passes
+    remainder = row_lines % passes
+    return [
+        np.maximum(1, base_lines + (pass_index < remainder).astype(np.int64))
+        + extra_lines
+        for pass_index in range(passes)
+    ]
+
+
+def _layer_replay(
+    context: RunContext,
+    pass_sizes: List[np.ndarray],
+    batched: Optional[List[RowCacheStats]],
+) -> AggregateReplay:
+    """Replay one intermediate layer's feature passes (all backends)."""
+    aggregate = AggregateReplay()
+
+    # The pinned rows live in a dedicated partition: their accesses always
+    # hit and the capacity they use is removed from the shared pool.
+    shared_capacity = context.cache_lines
+    if context.pinned_vertices.size:
+        pinned_lines = int(pass_sizes[0][context.pinned_vertices].sum())
+        shared_capacity = max(1, context.cache_lines - pinned_lines)
+
+    if get_replay_backend() == "vectorized":
+        stats_list = batched
+        if stats_list is None:
+            stats_list = context.engine().replay_many(pass_sizes, shared_capacity)
+        for stats in stats_list:
+            aggregate.accesses += stats.accesses
+            aggregate.hits += stats.hits
+            aggregate.hit_lines += stats.hit_lines
+            aggregate.miss_lines += stats.miss_lines
+    else:
+        cache = RowCache(shared_capacity)
+        pinned_set = set(context.pinned_vertices.tolist())
+        trace = context.trace
+        for pass_index in range(len(pass_sizes)):
+            per_pass_lines = pass_sizes[pass_index]
+            cache.flush()
+            if pinned_set:
+                sizes = per_pass_lines.tolist()
+                for row in trace.tolist():
+                    size = sizes[row]
+                    aggregate.accesses += 1
+                    if row in pinned_set:
+                        aggregate.hits += 1
+                        aggregate.hit_lines += size
+                    elif cache.access(row, size):
+                        aggregate.hits += 1
+                        aggregate.hit_lines += size
+                    else:
+                        aggregate.miss_lines += size
+            else:
+                cache.access_trace(trace, per_pass_lines)
+                aggregate.accesses += cache.stats.accesses
+                aggregate.hits += cache.stats.hits
+                aggregate.hit_lines += cache.stats.hit_lines
+                aggregate.miss_lines += cache.stats.miss_lines
+                cache.reset_stats()
+    return aggregate
+
+
+def _first_layer_replay(
+    context: RunContext,
+    first_workload: LayerWorkload,
+    batched: Optional[RowCacheStats],
+) -> RowCacheStats:
+    """Replay the first layer's dense intermediate (all backends).
+
+    The dense intermediate is re-read per edge with the same hit rate a
+    dense-format run of this schedule achieves; approximate it with a single
+    cache replay using dense rows.  The full (unpinned) trace is replayed at
+    full capacity here, matching the reference path.
+    """
+    if batched is not None:
+        return batched
+    num_vertices = context.graph.num_vertices
+    dense_row_lines = bytes_to_lines(first_workload.width_out * ELEMENT_BYTES)
+    sizes = np.full(num_vertices, dense_row_lines, dtype=np.int64)
+    if get_replay_backend() == "vectorized":
+        return context.engine_full().replay(sizes, context.cache_lines)
+    cache = RowCache(context.cache_lines)
+    return cache.access_trace(context.trace, sizes)
+
+
+def replay(
+    context: RunContext,
+    workloads: Sequence[LayerWorkload],
+    seed: int,
+    max_sampled_layers: int,
+) -> ReplayOutcome:
+    """Stage 3: evaluate every cache replay of the run.
+
+    The sampled intermediate layers (one size table per feature pass) and the
+    first layer's dense replay all share the trace structure and — without a
+    pinned partition — the capacity, so one batched ``replay_many`` call
+    amortises the per-evaluation overhead across the whole run.  Designs that
+    need per-layer capacities (pinned partitions) and the legacy backend
+    replay each layer individually instead; column-product designs replay
+    nothing (their feature reads stream once per pass).
+    """
+    fmt = context.feature_format
+    first, *intermediate = workloads
+    sampled = _sample_layers(intermediate, max_sampled_layers) if intermediate else []
+
+    prepared: List[ReplayedLayer] = []
+    for workload, weight in sampled:
+        row_nnz, row_lines = _layer_row_tables(fmt, workload, context, seed)
+        pass_sizes = _pass_size_tables(fmt, workload, context, row_lines)
+        prepared.append(
+            ReplayedLayer(
+                workload=workload,
+                weight=weight,
+                row_nnz=row_nnz,
+                row_lines=row_lines,
+                pass_sizes=pass_sizes,
+            )
+        )
+
+    design = context.design
+    if design.column_product:
+        return ReplayOutcome(first_workload=first, layers=prepared, first_stats=None)
+
+    # Precompute every layer's tables, then evaluate every cache replay of
+    # the run (first layer + all layers x passes) in one batched engine call
+    # when the capacities agree: the replay structure is shared, so stacking
+    # the size tables amortises the per-evaluation array overhead.
+    batched_first: Optional[RowCacheStats] = None
+    batched_layers: List[Optional[List[RowCacheStats]]] = [None] * len(prepared)
+    if (
+        get_replay_backend() == "vectorized"
+        and context.trace.size != 0
+        and not context.pinned_vertices.size
+    ):
+        tables: List[np.ndarray] = []
+        for layer in prepared:
+            tables.extend(layer.pass_sizes)
+        dense_row_lines = bytes_to_lines(first.width_out * ELEMENT_BYTES)
+        tables.append(
+            np.full(context.graph.num_vertices, dense_row_lines, dtype=np.int64)
+        )
+        stats = context.engine().replay_many(tables, context.cache_lines)
+        cursor = 0
+        for index, layer in enumerate(prepared):
+            batched_layers[index] = stats[cursor : cursor + len(layer.pass_sizes)]
+            cursor += len(layer.pass_sizes)
+        batched_first = stats[-1]
+
+    for layer, batched in zip(prepared, batched_layers):
+        layer.replay = _layer_replay(context, layer.pass_sizes, batched)
+    # An edgeless graph yields an empty trace: the intermediate layers above
+    # replay it (to zero counters, as the reference path did), but the first
+    # layer's dense re-read falls back to the analytic streaming estimate.
+    first_stats = (
+        None
+        if context.trace.size == 0
+        else _first_layer_replay(context, first, batched_first)
+    )
+    return ReplayOutcome(first_workload=first, layers=prepared, first_stats=first_stats)
+
+
+# --------------------------------------------------------------------------- #
+# Stage 4: timing (cycles and traffic per layer)
+# --------------------------------------------------------------------------- #
+@dataclass
+class TimedLayer:
+    """Stage-4 output: one layer's cycles/traffic, pending energy pricing."""
+
+    layer_index: int
+    weight: float
+    cycles: float
+    aggregation_cycles: float
+    combination_cycles: float
+    aggregation_compute_cycles: float
+    combination_compute_cycles: float
+    memory_cycles: float
+    macs: float
+    traffic: TrafficBreakdown
+    cache_accesses: float
+    cache_hit_rate: float
+
+
+def _topology_bytes(graph: CSRGraph, workload: LayerWorkload) -> float:
+    """Bytes of topology streamed for one full sweep of the edges."""
+    per_edge = 4 + (4 if workload.weighted_aggregation else 0)
+    return (
+        graph.num_edges * workload.edge_fraction * per_edge
+        + (graph.num_vertices + 1) * 4
+    )
+
+
+def _output_write_bytes(
+    fmt: FeatureFormat, num_vertices: int, width: int, sparsity: float
+) -> float:
+    """Bytes written for the layer's output features in ``fmt``."""
+    nnz = int(round(width * (1.0 - sparsity)))
+    layout = fmt.build_layout(np.asarray([max(nnz, 0)], dtype=np.int64), width)
+    return float(num_vertices * layout.row_write_bytes(0))
+
+
+def _aggregation_phase(context: RunContext, layer: ReplayedLayer) -> PhaseResult:
+    design = context.design
+    fmt = context.feature_format
+    config = context.config
+    graph = context.graph
+    workload = layer.workload
+    passes = context.tiling.feature_passes
+    edge_fraction = workload.edge_fraction
+    _, aligned_reads = _pass_access_overhead(fmt, workload.width_in, passes)
+
+    if design.column_product:
+        # Column-product execution streams every input feature row exactly
+        # once (per feature pass it streams 1/passes of each row), so the
+        # read volume is one full pass over the compressed matrix and the
+        # cache plays no role in the feature reads.
+        total_lines = int(layer.row_lines.sum())
+        feature_read_bytes = float(total_lines * CACHELINE_BYTES)
+        cache_accesses = float(total_lines)
+        hit_rate = 0.0
+    else:
+        replayed = layer.replay
+        assert replayed is not None  # stage 3 replays every non-column design
+        feature_read_bytes = replayed.miss_lines * CACHELINE_BYTES * edge_fraction
+        cache_accesses = (replayed.hit_lines + replayed.miss_lines) * edge_fraction
+        hit_rate = replayed.hits / replayed.accesses if replayed.accesses else 0.0
+
+    num_edges = graph.num_edges * edge_fraction
+    topology_bytes = _topology_bytes(graph, workload) * passes
+
+    density = 1.0
+    if design.sparse_aggregation_compute:
+        density = max(1e-3, 1.0 - workload.input_sparsity)
+    cost = context.simd.aggregation_cost(
+        num_edges=num_edges,
+        feature_width=workload.width_in,
+        density=density,
+    )
+    compute_cycles = cost.cycles * design.aggregation_compute_scale
+    macs = cost.mac_operations * design.aggregation_compute_scale
+
+    psum_bytes = 0.0
+    if design.psum_traffic_factor > 0:
+        psum_bytes = (
+            design.psum_traffic_factor
+            * graph.num_vertices
+            * workload.width_in
+            * ELEMENT_BYTES
+        )
+
+    traffic = TrafficBreakdown(
+        topology_bytes=topology_bytes,
+        feature_read_bytes=feature_read_bytes,
+        psum_bytes=psum_bytes,
+    )
+    pattern = TrafficPattern(
+        average_burst_lines=float(np.mean(layer.pass_sizes[0])),
+        aligned=aligned_reads,
+        sequential_fraction=topology_bytes / max(traffic.total_bytes, 1.0),
+    )
+    memory_cycles = context.dram.transfer_cycles(
+        traffic.total_bytes, config.engines.frequency_ghz, pattern
+    )
+    return PhaseResult(
+        cycles=max(compute_cycles, memory_cycles),
+        compute_cycles=compute_cycles,
+        memory_cycles=memory_cycles,
+        macs=macs,
+        traffic=traffic,
+        cache_accesses=cache_accesses,
+        cache_hit_rate=hit_rate,
+    )
+
+
+def _combination_phase(context: RunContext, layer: ReplayedLayer) -> PhaseResult:
+    design = context.design
+    fmt = context.feature_format
+    config = context.config
+    graph = context.graph
+    workload = layer.workload
+    num_vertices = graph.num_vertices
+
+    density = 1.0
+    if design.combination_zero_skipping:
+        density = max(1e-3, 1.0 - workload.input_sparsity)
+    gemm = context.systolic.gemm_cost(
+        m=num_vertices,
+        k=workload.width_in,
+        n=workload.width_out,
+        density=density,
+    )
+
+    weight_bytes = context.systolic.weight_bytes(workload.width_in, workload.width_out)
+    output_write_bytes = _output_write_bytes(
+        fmt, num_vertices, workload.width_out, workload.output_sparsity
+    )
+    traffic = TrafficBreakdown(
+        weight_bytes=weight_bytes,
+        feature_write_bytes=output_write_bytes,
+    )
+    pattern = TrafficPattern(
+        average_burst_lines=DRAMModel.SATURATION_BURST_LINES,
+        aligned=True,
+        sequential_fraction=1.0,
+    )
+    memory_cycles = context.dram.transfer_cycles(
+        traffic.total_bytes, config.engines.frequency_ghz, pattern
+    )
+    return PhaseResult(
+        cycles=max(gemm.cycles, memory_cycles),
+        compute_cycles=gemm.cycles,
+        memory_cycles=memory_cycles,
+        macs=gemm.mac_operations,
+        traffic=traffic,
+        cache_accesses=0.0,
+        cache_hit_rate=0.0,
+    )
+
+
+def _time_first_layer(context: RunContext, replayed: ReplayOutcome) -> TimedLayer:
+    """First layer: combination of the given input features, then
+    aggregation of the (dense) result.
+
+    All modelled designs process the first layer combination-first, the
+    standard optimisation when the width shrinks (Section III-A).  Input
+    features are streamed once; ultra-sparse inputs (one-hot encodings) are
+    stored in CSR, dense embeddings are stored densely.  Designs with
+    sparsity-aware compute (SGCN's aggregation-engine combination, AWB-GCN's
+    zero skipping) only compute on the non-zero inputs.
+    """
+    design = context.design
+    fmt = context.feature_format
+    config = context.config
+    graph = context.graph
+    workload = replayed.first_workload
+    num_vertices = graph.num_vertices
+    width_in = workload.width_in
+    width_out = workload.width_out
+    input_density = max(1e-4, 1.0 - workload.input_sparsity)
+
+    # --- combination of X_0 @ W_0 --------------------------------------- #
+    if workload.input_sparsity >= 0.5:
+        input_read_bytes = num_vertices * width_in * input_density * (
+            ELEMENT_BYTES + 4
+        ) + (num_vertices + 1) * 4
+    else:
+        input_read_bytes = num_vertices * width_in * ELEMENT_BYTES
+
+    if design.sparse_first_layer or design.combination_zero_skipping:
+        # SGCN runs the first combination as a sparse gather-accumulate on
+        # its aggregation engines; AWB-GCN's zero skipping achieves the same
+        # compute reduction on ultra-sparse one-hot inputs.
+        gemm_density = input_density
+    else:
+        # Other designs skip only the input feature columns that are zero
+        # for every vertex in the current tile (coarse column skipping),
+        # which captures part of the one-hot sparsity but leaves the
+        # systolic array underutilised for scattered non-zeros; model the
+        # residual work as the geometric mean of dense and fully sparse.
+        gemm_density = float(np.sqrt(input_density))
+    gemm = context.systolic.gemm_cost(
+        m=num_vertices, k=width_in, n=width_out, density=gemm_density
+    )
+    weight_bytes = context.systolic.weight_bytes(width_in, width_out)
+
+    # --- aggregation of the (dense) combination result ------------------ #
+    num_edges = graph.num_edges * workload.edge_fraction
+    agg_cost = context.simd.aggregation_cost(
+        num_edges=num_edges, feature_width=width_out, density=1.0
+    )
+    dense_row_lines = bytes_to_lines(width_out * ELEMENT_BYTES)
+    if replayed.first_stats is None:
+        # Column-product first layer: the dense intermediate is streamed
+        # once and partial sums absorb the reuse cost.
+        agg_read_bytes = float(num_vertices * dense_row_lines * CACHELINE_BYTES)
+        cache_accesses = float(num_vertices * dense_row_lines)
+        first_layer_hit_rate = 0.0
+    else:
+        stats = replayed.first_stats
+        agg_read_bytes = stats.miss_lines * CACHELINE_BYTES * workload.edge_fraction
+        cache_accesses = float(stats.hit_lines + stats.miss_lines)
+        first_layer_hit_rate = stats.hit_rate
+    topology_bytes = _topology_bytes(graph, workload)
+
+    output_write_bytes = _output_write_bytes(
+        fmt, num_vertices, width_out, workload.output_sparsity
+    )
+
+    traffic = TrafficBreakdown(
+        topology_bytes=topology_bytes,
+        feature_read_bytes=input_read_bytes + agg_read_bytes,
+        feature_write_bytes=output_write_bytes,
+        weight_bytes=weight_bytes,
+    )
+    pattern = TrafficPattern(
+        average_burst_lines=4.0, aligned=True, sequential_fraction=0.5
+    )
+    memory_cycles = context.dram.transfer_cycles(
+        traffic.total_bytes, config.engines.frequency_ghz, pattern
+    )
+    compute_cycles = gemm.cycles + agg_cost.cycles
+    if config.pipeline_phases:
+        cycles = max(compute_cycles, memory_cycles)
+    else:
+        cycles = compute_cycles + memory_cycles
+
+    return TimedLayer(
+        layer_index=0,
+        weight=1.0,
+        cycles=cycles,
+        aggregation_cycles=max(agg_cost.cycles, memory_cycles / 2),
+        combination_cycles=max(gemm.cycles, memory_cycles / 2),
+        aggregation_compute_cycles=agg_cost.cycles,
+        combination_compute_cycles=gemm.cycles,
+        memory_cycles=memory_cycles,
+        macs=gemm.mac_operations + agg_cost.mac_operations,
+        traffic=traffic,
+        cache_accesses=cache_accesses,
+        cache_hit_rate=first_layer_hit_rate,
+    )
+
+
+def _time_intermediate_layer(context: RunContext, layer: ReplayedLayer) -> TimedLayer:
+    aggregation = _aggregation_phase(context, layer)
+    combination = _combination_phase(context, layer)
+    config = context.config
+    if config.pipeline_phases:
+        cycles = max(aggregation.cycles, combination.cycles)
+    else:
+        cycles = aggregation.cycles + combination.cycles
+    return TimedLayer(
+        layer_index=layer.workload.layer_index,
+        weight=layer.weight,
+        cycles=cycles,
+        aggregation_cycles=aggregation.cycles,
+        combination_cycles=combination.cycles,
+        aggregation_compute_cycles=aggregation.compute_cycles,
+        combination_compute_cycles=combination.compute_cycles,
+        memory_cycles=aggregation.memory_cycles + combination.memory_cycles,
+        macs=aggregation.macs + combination.macs,
+        traffic=aggregation.traffic + combination.traffic,
+        cache_accesses=aggregation.cache_accesses + combination.cache_accesses,
+        cache_hit_rate=aggregation.cache_hit_rate,
+    )
+
+
+def timing(context: RunContext, replayed: ReplayOutcome) -> List[TimedLayer]:
+    """Stage 4: per-layer cycles and traffic from replay stats and models."""
+    timed = [_time_first_layer(context, replayed)]
+    for layer in replayed.layers:
+        timed.append(_time_intermediate_layer(context, layer))
+    return timed
+
+
+# --------------------------------------------------------------------------- #
+# Stage 5: energy (price counted events, assemble LayerResults)
+# --------------------------------------------------------------------------- #
+def energy(context: RunContext, timed: Sequence[TimedLayer]) -> List[LayerResult]:
+    """Stage 5: energy pricing and :class:`LayerResult` assembly."""
+    results: List[LayerResult] = []
+    for layer in timed:
+        breakdown = context.energy_table.breakdown(
+            num_macs=layer.macs,
+            cache_accesses=layer.cache_accesses,
+            dram_bytes=layer.traffic.total_bytes,
+        )
+        result = LayerResult(
+            layer_index=layer.layer_index,
+            cycles=layer.cycles,
+            aggregation_cycles=layer.aggregation_cycles,
+            combination_cycles=layer.combination_cycles,
+            aggregation_compute_cycles=layer.aggregation_compute_cycles,
+            combination_compute_cycles=layer.combination_compute_cycles,
+            memory_cycles=layer.memory_cycles,
+            macs=layer.macs,
+            traffic=layer.traffic,
+            cache_accesses=layer.cache_accesses,
+            cache_hit_rate=layer.cache_hit_rate,
+            energy=breakdown,
+        )
+        result.weight = layer.weight
+        results.append(result)
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Orchestration
+# --------------------------------------------------------------------------- #
+def simulate_design(
+    design: DesignPoint,
+    dataset: Dataset,
+    config: Optional[SystemConfig] = None,
+    variant: str = "gcn",
+    max_sampled_layers: int = 6,
+    seed: int = 0,
+    trace_cache: Optional[TraceCache] = None,
+    feature_format: Optional[FeatureFormat] = None,
+) -> SimulationResult:
+    """Run the full phase pipeline for one design on one dataset.
+
+    Args:
+        design: The accelerator design point to execute.
+        dataset: Dataset to run.
+        config: System configuration (Table III defaults when omitted).
+        variant: Aggregation variant (``"gcn"``, ``"gin"``, ``"sage"``).
+        max_sampled_layers: Intermediate layers are representative-sampled
+            down to at most this many trace-driven simulations; each sampled
+            layer is weighted by the number of layers it stands for, so
+            totals still cover the whole network.
+        seed: Seed for the per-row non-zero draws.
+        trace_cache: Optional cross-run memo for access traces, replay
+            structures, and derived (reordered/transposed) graphs.  These
+            depend only on the topology and the schedule — not on timing
+            knobs — so a :class:`~repro.core.session.Session` passes its own
+            cache here and a sweep builds each trace once.
+        feature_format: Pre-built format instance (``design.format_instance()``
+            when omitted; models pass their own so instances are shared).
+
+    Returns:
+        A :class:`SimulationResult` covering every layer of the network.
+    """
+    config = config or SystemConfig()
+    fmt = feature_format if feature_format is not None else design.format_instance()
+    workloads = build_workloads(dataset, variant=variant)
+    context = schedule(build_context(design, fmt, dataset, config, trace_cache))
+    return complete_run(
+        context,
+        workloads,
+        variant=variant,
+        seed=seed,
+        max_sampled_layers=max_sampled_layers,
+    )
+
+
+def complete_run(
+    context: RunContext,
+    workloads: Sequence[LayerWorkload],
+    variant: str = "gcn",
+    seed: int = 0,
+    max_sampled_layers: int = 6,
+) -> SimulationResult:
+    """Run stages 3-5 over an already-scheduled :class:`RunContext`.
+
+    Split out of :func:`simulate_design` so callers that build (or
+    customise) the context themselves — e.g. legacy ``_build_context``
+    overrides — can still finish the run through the shared pipeline.
+    """
+    replayed = replay(context, workloads, seed, max_sampled_layers)
+    timed = timing(context, replayed)
+    layers = energy(context, timed)
+
+    return SimulationResult(
+        accelerator=context.design.name,
+        dataset=context.dataset.name,
+        layers=layers,
+        frequency_ghz=context.config.engines.frequency_ghz,
+        metadata={
+            "variant": variant,
+            "num_layers": context.dataset.num_layers,
+            "cache_lines": context.cache_lines,
+            "feature_passes": context.tiling.feature_passes,
+            "dest_tile_vertices": context.tiling.dest_tile_vertices,
+        },
+    )
+
+
+__all__ = [
+    "AggregateReplay",
+    "GCN_VARIANTS",
+    "LayerWorkload",
+    "PhaseResult",
+    "REPLAY_BACKENDS",
+    "ReplayOutcome",
+    "ReplayedLayer",
+    "RunContext",
+    "SAGE_EDGE_FRACTION",
+    "TimedLayer",
+    "build_context",
+    "build_workloads",
+    "complete_run",
+    "effective_cache_lines",
+    "energy",
+    "get_replay_backend",
+    "replay",
+    "schedule",
+    "set_replay_backend",
+    "simulate_design",
+    "timing",
+]

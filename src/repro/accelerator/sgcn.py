@@ -1,23 +1,16 @@
-"""The SGCN accelerator model and its ablation variants.
+"""The SGCN accelerator model and its ablation variants (deprecation shims).
 
-SGCN builds on the GCNAX-style tiled baseline (same tiling machinery, same
-engine counts) and adds the paper's three techniques:
+The SGCN designs — the full design (sliced BEICSR + sparse aggregator +
+sparsity-aware cooperation) and its Fig. 12 ablations — are declared as
+:class:`~repro.accelerator.design.DesignPoint` instances in
+:mod:`repro.accelerator.design` and registered directly with the accelerator
+registry.  The subclasses below are kept only so existing code that imports
+or subclasses them keeps working; each is a thin shim whose class attributes
+mirror the canonical design point.
 
-1. intermediate features are stored in **BEICSR** (sliced, ``C`` = 96 by
-   default), so every feature-row read transfers only the occupied prefix of
-   each slice and the post-combination compressor writes the next layer's
-   features compressed at no extra traffic;
-2. the **sparse aggregator** multiplies only the non-zero elements, scaling
-   the aggregation compute with the feature density;
-3. **sparsity-aware cooperation** deals 32-vertex source strips to the
-   engines round-robin, creating nested reuse windows that keep the cache
-   effective when the actual sparsity is lower than the static tiling
-   assumed.
-
-The ablation variants (Fig. 12) are expressed as subclasses:
-``SGCNNonSlicedAccelerator`` (whole-row BEICSR, no feature slicing, no SAC)
-and ``SGCNNoSACAccelerator`` (sliced BEICSR, conventional engine
-partitioning).
+New code should use the registry (``get_accelerator("sgcn")``), derive from
+the design (``SGCN_DESIGN.derive(slice_size=128)``), or wrap a point
+explicitly (``AcceleratorModel(SGCN_DESIGN)``).
 """
 
 from __future__ import annotations
@@ -25,11 +18,15 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.accelerator.simulator import AcceleratorModel
-from repro.formats.registry import get_format
 
 
 class SGCNAccelerator(AcceleratorModel):
-    """The full SGCN design (sliced BEICSR + sparse aggregator + SAC)."""
+    """Deprecated shim for :data:`~repro.accelerator.design.SGCN_DESIGN`.
+
+    The full SGCN design: intermediate features in sliced BEICSR, the sparse
+    aggregator scaling compute with feature density, and sparsity-aware
+    cooperation dealing source strips to the engines round-robin.
+    """
 
     name = "sgcn"
     display_name = "SGCN"
@@ -37,14 +34,7 @@ class SGCNAccelerator(AcceleratorModel):
     execution_order = "aggregation-first"
     uses_destination_tiling = True
     engine_partition = "sac"
-    #: Tiles are sized off line from the dataset's *average* sparsity — the
-    #: best a static analysis of a compressed-feature design can do — so
-    #: layers that end up denser than the average overflow the tile budget,
-    #: exactly the situation sparsity-aware cooperation is designed for.
     tile_with_average_sparsity = True
-    #: Perfect tiling: the destination tile is sized to the whole cache from
-    #: the (average-sparsity) estimate, so denser-than-average layers
-    #: overflow it.
     tiling_fill_fraction = 1.0
     sparse_aggregation_compute = True
     sparse_first_layer = True
@@ -54,7 +44,9 @@ class SGCNAccelerator(AcceleratorModel):
     def __init__(self, slice_size: Optional[int] = None) -> None:
         super().__init__()
         if slice_size is not None:
-            self._format = get_format("beicsr", slice_size=slice_size)
+            self._set_design(
+                self._design.with_format("beicsr", slice_size=slice_size)
+            )
 
     @property
     def slice_size(self) -> Optional[int]:
@@ -63,12 +55,10 @@ class SGCNAccelerator(AcceleratorModel):
 
 
 class SGCNNoSACAccelerator(SGCNAccelerator):
-    """SGCN with sliced BEICSR but conventional engine partitioning.
+    """Deprecated shim for :data:`~repro.accelerator.design.SGCN_NO_SAC_DESIGN`.
 
-    Fig. 12's "BEICSR" bar: the format and the sparse aggregator are active,
-    feature-matrix slicing keeps the dataflow optimal, but each engine still
-    owns a contiguous quarter of the source range, so the combined working
-    set has a single large reuse window.
+    Fig. 12's "BEICSR" bar: sliced BEICSR and the sparse aggregator are
+    active, but each engine owns a contiguous quarter of the source range.
     """
 
     name = "sgcn_no_sac"
@@ -77,12 +67,10 @@ class SGCNNoSACAccelerator(SGCNAccelerator):
 
 
 class SGCNNonSlicedAccelerator(SGCNAccelerator):
-    """SGCN with whole-row (non-sliced) BEICSR.
+    """Deprecated shim for :data:`~repro.accelerator.design.SGCN_NONSLICED_DESIGN`.
 
-    Fig. 12's "Non-sliced BEICSR" bar: the compressed format already removes
-    most of the feature traffic, but without per-slice bitmaps the feature
-    matrix cannot be sliced, so the accelerator is stuck with a single pass
-    over full rows and a sub-optimal dataflow when the working set is large.
+    Fig. 12's "Non-sliced BEICSR" bar: whole-row BEICSR removes most feature
+    traffic but cannot be sliced, forcing a single pass over full rows.
     """
 
     name = "sgcn_nonsliced"
@@ -95,12 +83,11 @@ class SGCNNonSlicedAccelerator(SGCNAccelerator):
 
 
 class SGCNPackedAccelerator(SGCNAccelerator):
-    """Ablation: BEICSR without in-place storage (packed, variable length).
+    """Deprecated shim for :data:`~repro.accelerator.design.SGCN_PACKED_DESIGN`.
 
-    Not part of the paper's Fig. 12 but used by the extra ablation benchmark
-    to quantify the cost of dropping in-place compression: rows become
-    unaligned, an indirection array is required, and parallel output writes
-    serialise.
+    Ablation: BEICSR without in-place storage (packed, variable length),
+    used by the extra ablation benchmark to quantify the cost of dropping
+    in-place compression.
     """
 
     name = "sgcn_packed"

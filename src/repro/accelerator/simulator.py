@@ -1,244 +1,70 @@
-"""Phase-level performance simulator shared by all accelerator models.
+"""Accelerator model objects over the declarative design/pipeline split.
 
-The simulator follows the structure of the paper's evaluation methodology
-(Section VI-A) at a phase level rather than cycle-by-cycle:
+Historically this module was a 400+-line monolith fusing the description of
+an accelerator (20 loose class attributes) with the machinery that simulates
+it.  Both halves now live in dedicated modules:
 
-* the **aggregation phase** is trace-driven: the schedule built by
-  :mod:`repro.accelerator.tiling` is replayed through a row-granularity LRU
-  model of the shared global cache, with every feature-row access expanded to
-  the cachelines the active feature format would transfer;
-* the **combination phase** uses the systolic-array timing model
-  (:mod:`repro.accelerator.systolic`);
-* each phase's duration is the maximum of its compute time and the time the
-  HBM model needs to move its off-chip traffic, and the two phases overlap
-  when the design pipelines them;
-* energy is the sum of MAC, cache and DRAM energies for the counted events.
+* :mod:`repro.accelerator.design` — :class:`DesignPoint`, the frozen,
+  validated description of *what* an accelerator is (paper Table I);
+* :mod:`repro.accelerator.pipeline` — the explicit five-stage simulation
+  pipeline (``build_context → schedule → replay → timing → energy``) that
+  executes a design point.
 
-Each accelerator model (:mod:`repro.accelerator.baselines`,
-:mod:`repro.accelerator.sgcn`) is a configuration of this machinery: which
-feature format it stores intermediate features in, whether it tiles, how its
-engines partition the vertices, whether its compute skips zeros, and so on.
+What remains here is :class:`AcceleratorModel`, the thin runtime wrapper the
+registry instantiates and a :class:`~repro.core.session.Session` memoizes: a
+design point plus its resolved feature-format instance.  The historical
+subclass API — declare a design by overriding class attributes — keeps
+working: the constructor lifts the class attributes into a
+:class:`DesignPoint` (validating them in the process), so existing custom
+subclasses behave exactly as before.  New code should construct models from
+design points directly (``AcceleratorModel(design)`` or
+``register_design``).
+
+The workload/backend helpers (``build_workloads``, ``set_replay_backend``,
+…) are re-exported from :mod:`repro.accelerator.pipeline` for backward
+compatibility.
 """
 
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
-import numpy as np
-
-from repro.accelerator.engines import SIMDAggregationEngine
-from repro.accelerator.systolic import SystolicArray
-from repro.accelerator.tiling import (
-    TilingPlan,
-    aggregation_access_trace,
-    aggregation_access_trace_reference,
-    locality_reordering,
-    locality_reordering_reference,
-    plan_tiling,
+from repro.accelerator.design import DesignPoint
+from repro.accelerator.pipeline import (  # noqa: F401  (compat re-exports)
+    GCN_VARIANTS,
+    REPLAY_BACKENDS,
+    SAGE_EDGE_FRACTION,
+    LayerWorkload,
+    PhaseResult,
+    RunContext,
+    build_context,
+    build_workloads,
+    complete_run,
+    get_replay_backend,
+    schedule,
+    set_replay_backend,
+    simulate_design,
 )
-from repro.core.config import CACHELINE_BYTES, ELEMENT_BYTES, SystemConfig
-from repro.core.results import LayerResult, SimulationResult, TrafficBreakdown
-from repro.errors import SimulationError
-from repro.formats.base import FeatureFormat, bytes_to_lines
-from repro.formats.registry import get_format
-from repro.gcn.sparsity import row_nonzero_distribution
+from repro.core.config import SystemConfig
+from repro.core.results import SimulationResult
+from repro.formats.base import FeatureFormat
 from repro.graphs.datasets import Dataset
-from repro.graphs.graph import CSRGraph
-from repro.memory.dram import DRAMModel, TrafficPattern
-from repro.memory.energy import EnergyTable
-from repro.memory.replay import ReplayEngine, TraceCache, array_token
-from repro.memory.rowcache import RowCache, RowCacheStats
-
-
-# --------------------------------------------------------------------------- #
-# Replay backend selection
-# --------------------------------------------------------------------------- #
-#: Supported trace-replay backends: the vectorized engine
-#: (:class:`repro.memory.replay.ReplayEngine`, the default) and the legacy
-#: per-access :class:`repro.memory.rowcache.RowCache` loop.  The two are
-#: bit-identical (pinned by the golden equivalence tests); the legacy backend
-#: exists as the reference implementation and as the baseline the
-#: ``repro bench`` harness measures speedups against.
-REPLAY_BACKENDS = ("vectorized", "legacy")
-
-#: The legacy backend restores the dominant pre-vectorization paths, not
-#: just the cache replay: loop-based trace generation and BFS reordering,
-#: per-row ``row_read_lines`` materialisation, and no cross-run trace
-#: caching.  (Two minor helpers — ``CSRGraph.reorder`` and BEICSR's
-#: ``_split_row_nnz`` — stay vectorized under either backend, so the
-#: ``repro bench`` baseline is slightly *faster* than the true pre-PR
-#: engine; recorded speedups are conservative.)  The golden tests use the
-#: same switch as a whole-pipeline equivalence check.
-_replay_backend = "vectorized"
-
-
-def set_replay_backend(name: str) -> str:
-    """Select the aggregation-trace replay backend; returns the previous one."""
-    global _replay_backend
-    if name not in REPLAY_BACKENDS:
-        raise SimulationError(
-            f"unknown replay backend {name!r}; choose from {REPLAY_BACKENDS}"
-        )
-    previous = _replay_backend
-    _replay_backend = name
-    return previous
-
-
-def get_replay_backend() -> str:
-    """Name of the active trace-replay backend."""
-    return _replay_backend
-
-
-# --------------------------------------------------------------------------- #
-# Workloads
-# --------------------------------------------------------------------------- #
-@dataclass(frozen=True)
-class LayerWorkload:
-    """One GCN layer as seen by the accelerator.
-
-    Attributes:
-        layer_index: Zero-based layer index.
-        width_in: Width of the input features ``X_l``.
-        width_out: Width of the output features ``X_{l+1}``.
-        input_sparsity: Sparsity of ``X_l``.
-        output_sparsity: Sparsity of ``X_{l+1}``.
-        is_first_layer: Whether ``X_l`` is the dataset's given input features.
-        edge_fraction: Fraction of edges processed (GraphSAGE sampling).
-        weighted_aggregation: Whether edge weights are streamed with the
-            topology (GCN yes, GINConv no).
-    """
-
-    layer_index: int
-    width_in: int
-    width_out: int
-    input_sparsity: float
-    output_sparsity: float
-    is_first_layer: bool = False
-    edge_fraction: float = 1.0
-    weighted_aggregation: bool = True
-
-
-#: Aggregation variants supported by :func:`build_workloads`.
-GCN_VARIANTS = ("gcn", "gin", "sage")
-
-#: Edge fraction retained by GraphSAGE's neighbour sampling (Fig. 16b).
-SAGE_EDGE_FRACTION = 0.6
-
-
-def build_workloads(dataset: Dataset, variant: str = "gcn") -> List[LayerWorkload]:
-    """Build the per-layer workloads of a deep residual GCN on ``dataset``.
-
-    Args:
-        dataset: Dataset (provides widths, layer count, sparsity profile).
-        variant: ``"gcn"``, ``"gin"``, or ``"sage"`` (paper Fig. 16).
-    """
-    variant = variant.lower()
-    if variant not in GCN_VARIANTS:
-        raise SimulationError(f"unknown GCN variant {variant!r}; choose from {GCN_VARIANTS}")
-    edge_fraction = SAGE_EDGE_FRACTION if variant == "sage" else 1.0
-    weighted = variant == "gcn"
-
-    profile = dataset.layer_sparsities()
-    hidden = dataset.hidden_width
-    workloads: List[LayerWorkload] = []
-    for index in range(dataset.num_layers):
-        if index == 0:
-            width_in = dataset.input_feature_width
-            input_sparsity = dataset.input_sparsity
-        else:
-            width_in = hidden
-            input_sparsity = profile[index - 1]
-        workloads.append(
-            LayerWorkload(
-                layer_index=index,
-                width_in=width_in,
-                width_out=hidden,
-                input_sparsity=float(input_sparsity),
-                output_sparsity=float(profile[index]),
-                is_first_layer=index == 0,
-                edge_fraction=edge_fraction,
-                weighted_aggregation=weighted,
-            )
-        )
-    return workloads
-
-
-@dataclass
-class PhaseResult:
-    """Cycle/traffic/compute accounting of one phase of one layer."""
-
-    cycles: float = 0.0
-    compute_cycles: float = 0.0
-    memory_cycles: float = 0.0
-    macs: float = 0.0
-    traffic: TrafficBreakdown = field(default_factory=TrafficBreakdown)
-    cache_accesses: float = 0.0
-    cache_hit_rate: float = 0.0
-
-
-# --------------------------------------------------------------------------- #
-# Simulation context shared by all layers of one run
-# --------------------------------------------------------------------------- #
-@dataclass
-class _RunContext:
-    """Objects built once per (dataset, accelerator, config) run."""
-
-    graph: CSRGraph
-    config: SystemConfig
-    cache_lines: int
-    tiling: TilingPlan
-    trace: np.ndarray
-    pinned_vertices: np.ndarray
-    feature_format: FeatureFormat
-    simd: SIMDAggregationEngine
-    systolic: SystolicArray
-    dram: DRAMModel
-    energy_table: EnergyTable
-    #: Cross-run memo (owned by the Session) for traces/engines/derived graphs.
-    trace_cache: Optional[TraceCache] = None
-    #: Key prefix identifying the trace within the cache (None = uncached).
-    trace_token: Optional[Tuple] = None
-    #: Lazily-built replay engines (built on first vectorized replay, so the
-    #: legacy backend never pays for a structure it will not use).
-    replay_engine: Optional[ReplayEngine] = None
-    replay_engine_full: Optional[ReplayEngine] = None
-
-    def engine(self) -> ReplayEngine:
-        """Replay engine with the pinned partition folded in."""
-        if self.replay_engine is None:
-            builder = lambda: ReplayEngine(self.trace, pinned=self.pinned_vertices)
-            if self.trace_cache is not None and self.trace_token is not None:
-                pinned_token = (
-                    array_token(self.pinned_vertices) if self.pinned_vertices.size else None
-                )
-                key = ("engine",) + self.trace_token + (pinned_token,)
-                self.replay_engine = self.trace_cache.get(key, builder)
-            else:
-                self.replay_engine = builder()
-        return self.replay_engine
-
-    def engine_full(self) -> ReplayEngine:
-        """Replay engine over the full trace (first-layer dense replay)."""
-        if not self.pinned_vertices.size:
-            return self.engine()
-        if self.replay_engine_full is None:
-            builder = lambda: ReplayEngine(self.trace)
-            if self.trace_cache is not None and self.trace_token is not None:
-                key = ("engine",) + self.trace_token + (None,)
-                self.replay_engine_full = self.trace_cache.get(key, builder)
-            else:
-                self.replay_engine_full = builder()
-        return self.replay_engine_full
+from repro.memory.replay import TraceCache
 
 
 class AcceleratorModel:
-    """Base class of all modelled accelerators.
+    """A runtime accelerator model: a design point plus its feature format.
 
-    Subclasses override the class attributes to describe their design point;
-    the simulation machinery in this class turns the description into cycles,
-    traffic, and energy.
+    Two construction styles are supported:
+
+    * **Declarative (preferred):** ``AcceleratorModel(design_point)`` wraps
+      an explicit :class:`~repro.accelerator.design.DesignPoint`.
+    * **Subclassing (legacy):** subclasses override the class attributes
+      below; the constructor lifts them into a validated design point.  The
+      built-in subclasses in :mod:`repro.accelerator.baselines` /
+      :mod:`repro.accelerator.sgcn` are kept only as deprecation shims over
+      the registered design points.
     """
 
     #: Registry key.
@@ -251,25 +77,17 @@ class AcceleratorModel:
     execution_order: str = "aggregation-first"
     #: Whether the destination range is tiled to the cache.
     uses_destination_tiling: bool = True
-    #: Whether the source range is tiled to the accumulation (psum) buffer;
-    #: untiled designs sweep every source once but hold all partial outputs.
+    #: Whether the source range is tiled to the accumulation (psum) buffer.
     uses_source_tiling: bool = True
-    #: Fraction of the cache a destination tile is sized to occupy.  "Perfect
-    #: tiling" designs size the tile to (nearly) the whole cache; designs
-    #: with coarse vertex tiling (EnGN) overflow it on purpose.
+    #: Fraction of the cache a destination tile is sized to occupy.
     tiling_fill_fraction: float = 0.95
-    #: Accumulation-buffer capacity relative to the cache capacity.  The
-    #: partial output rows live in a dedicated buffer that is considerably
-    #: smaller than the shared feature cache (as in GCNAX's buffer split), so
-    #: large graphs need several sweeps over the destination features.
+    #: Accumulation-buffer capacity relative to the cache capacity.
     psum_buffer_fraction: float = 0.25
     #: Engine partitioning of the source range ("contiguous" or "sac").
     engine_partition: str = "contiguous"
     #: Sparsity assumed when sizing tiles (None = assume dense rows).
     assumed_tiling_sparsity: Optional[float] = None
-    #: Size tiles using the dataset's *average* intermediate sparsity — the
-    #: best a static off-line analysis of a compressed-feature design can do;
-    #: layers that turn out denser than the average overflow the tile.
+    #: Size tiles using the dataset's *average* intermediate sparsity.
     tile_with_average_sparsity: bool = False
     #: Whether the aggregation engines skip zero feature elements.
     sparse_aggregation_compute: bool = False
@@ -295,15 +113,96 @@ class AcceleratorModel:
     supports_residual: bool = True
     #: Maximum network depth the original design targeted (Table I).
     target_layers: str = "2"
+    #: Width slices the GCNAX-style dataflow processes per layer.
+    DATAFLOW_FEATURE_PASSES: int = 2
 
     # ------------------------------------------------------------------ #
-    def __init__(self) -> None:
-        self._format = get_format(self.feature_format_name)
+    def __init__(self, design: Optional[DesignPoint] = None) -> None:
+        if design is None:
+            design = self._lift_design(type(self))
+        self._set_design(design)
+
+    @staticmethod
+    def _lift_design(source: object, **extra: object) -> DesignPoint:
+        """Build a :class:`DesignPoint` from ``source``'s knob attributes.
+
+        ``source`` is either a model class (lifting the legacy subclass
+        declaration) or a model instance (reading the live attributes);
+        ``extra`` pre-supplies fields that have no attribute spelling
+        (``slice_size``).  Every :class:`DesignPoint` field flows through
+        automatically, so new fields cannot silently pin to defaults here.
+        """
+        from repro.accelerator.design import field_names
+
+        values = dict(extra)
+        for field_name in field_names():
+            if field_name in values:
+                continue
+            attribute = AcceleratorModel._LEGACY_ATTRIBUTE_NAMES.get(
+                field_name, field_name
+            )
+            if attribute is None:
+                continue  # no legacy spelling; DesignPoint default applies
+            values[field_name] = getattr(source, attribute)
+        return DesignPoint(**values)  # type: ignore[arg-type]
+
+    #: Design fields whose legacy class-attribute spelling differs.
+    _LEGACY_ATTRIBUTE_NAMES = {
+        "feature_format": "feature_format_name",
+        "dataflow_feature_passes": "DATAFLOW_FEATURE_PASSES",
+        "slice_size": None,  # never was a class attribute
+    }
+
+    def _set_design(self, design: DesignPoint) -> None:
+        """Install ``design`` (and its format instance) on this model."""
+        self._design = design
+        self._format = design.format_instance()
+        # Instance attributes shadow every legacy class attribute so a model
+        # wrapping an arbitrary design point reports *its* knob values (not
+        # the base-class defaults) through the documented attribute API.
+        for field_name, value in design.to_dict().items():
+            attribute = self._LEGACY_ATTRIBUTE_NAMES.get(field_name, field_name)
+            if attribute is not None:
+                setattr(self, attribute, value)
+        self.feature_format_name = self._format.name
+        # slice_size was never a class attribute, but SGCN models exposed it
+        # as a property — mirror it on plain wrappers too (skipping classes
+        # whose property already computes it from the live format).
+        if not isinstance(getattr(type(self), "slice_size", None), property):
+            self.slice_size = design.slice_size
+
+    def _design_from_attributes(self) -> DesignPoint:
+        """The design the model's *live* attributes currently describe.
+
+        Normally identical to :attr:`design` (``_set_design`` mirrors every
+        knob), but the legacy API allowed mutating knob attributes after
+        construction and expected ``simulate()`` to honor the mutation —
+        this rebuild preserves that contract.
+        """
+        return self._lift_design(
+            self, slice_size=getattr(self, "slice_size", self._design.slice_size)
+        )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def design(self) -> DesignPoint:
+        """The design point this model executes."""
+        return self._design
 
     @property
     def feature_format(self) -> FeatureFormat:
         """The feature format instance used for intermediate features."""
         return self._format
+
+    def use_design(self, design: DesignPoint) -> "AcceleratorModel":
+        """A copy of this model executing a different design point.
+
+        The receiver is left untouched (sessions memoize and share model
+        instances across runs); the reconfigured copy is returned.
+        """
+        model = copy.copy(self)
+        model._set_design(design)
+        return model
 
     def use_format(
         self, format_name: str, slice_size: Optional[int] = None
@@ -312,28 +211,27 @@ class AcceleratorModel:
 
         Used by :class:`repro.core.session.Session` to apply a
         :class:`~repro.core.runspec.RunSpec` feature-format override.  The
-        receiver is left untouched (sessions memoize and share model
-        instances across runs, so mutating in place would leak the override
-        into unrelated runs); the reconfigured copy is returned.
+        copy's design point is normalised like any directly-constructed one,
+        so overriding a design with its own native format yields an *equal*
+        design (no duplicate session cache entries).  The copy starts from
+        the *live* attributes, so legacy post-construction knob mutations
+        carry over exactly as they did before the design split.
         """
-        model = copy.copy(self)
-        model._format = get_format(format_name, slice_size=slice_size)
-        model.feature_format_name = model._format.name
-        return model
+        return self.use_design(
+            self._design_from_attributes().with_format(format_name, slice_size)
+        )
 
     def describe(self) -> Dict[str, object]:
         """Row of the paper's Table I for this accelerator."""
-        return {
-            "accelerator": self.display_name,
-            "compressed_feature": self._format.compressed,
-            "feature_format": self._format.name,
-            "target_layers": self.target_layers,
-            "residual": self.supports_residual,
-            "execution_order": self.execution_order,
-        }
+        description = self._design.describe()
+        # The live format instance wins over the design's reference (they
+        # only differ for exotic externally-injected formats).
+        description["compressed_feature"] = self._format.compressed
+        description["feature_format"] = self._format.name
+        return description
 
     # ------------------------------------------------------------------ #
-    # Top level
+    # Simulation (delegates to the phase pipeline)
     # ------------------------------------------------------------------ #
     def simulate(
         self,
@@ -346,759 +244,74 @@ class AcceleratorModel:
     ) -> SimulationResult:
         """Simulate a full deep-GCN inference on ``dataset``.
 
-        Args:
-            dataset: Dataset to run.
-            config: System configuration (Table III defaults when omitted).
-            variant: Aggregation variant (``"gcn"``, ``"gin"``, ``"sage"``).
-            max_sampled_layers: Intermediate layers are representative-sampled
-                down to at most this many trace-driven simulations; each
-                sampled layer is weighted by the number of layers it stands
-                for, so totals still cover the whole network.
-            seed: Seed for the per-row non-zero draws.
-            trace_cache: Optional cross-run memo for access traces, replay
-                structures, and derived (reordered/transposed) graphs.  These
-                depend only on the topology and the schedule — not on timing
-                knobs — so a :class:`~repro.core.session.Session` passes its
-                own cache here and a sweep builds each trace once.
-
-        Returns:
-            A :class:`SimulationResult` covering every layer of the network.
+        See :func:`repro.accelerator.pipeline.simulate_design` for the
+        parameter semantics; this wrapper supplies the model's design point
+        and shared format instance.  If the legacy knob attributes were
+        mutated after construction, the mutated values win (the historical
+        subclass-attribute contract).
         """
-        config = config or SystemConfig()
-        workloads = build_workloads(dataset, variant=variant)
-        context = self._build_context(dataset, config, workloads, trace_cache)
-
-        first, *intermediate = workloads
-        sampled = (
-            self._sample_layers(intermediate, max_sampled_layers) if intermediate else []
-        )
-
-        # Precompute every sampled layer's row tables, then evaluate every
-        # cache replay of the run (first layer + all layers x passes) in one
-        # batched engine call: the replay structure is shared, so stacking
-        # the size tables amortises the per-evaluation array overhead.
-        prepared = []
-        for workload, weight in sampled:
-            row_nnz, row_lines = self._layer_row_tables(workload, context, seed)
-            pass_sizes = self._pass_size_tables(workload, context, row_lines)
-            prepared.append((workload, weight, row_nnz, row_lines, pass_sizes))
-        first_stats, batched_stats = self._batched_replay(context, first, prepared)
-
-        layer_results: List[LayerResult] = [
-            self._simulate_first_layer(dataset, first, context, replay_stats=first_stats)
-        ]
-        for (workload, weight, row_nnz, row_lines, pass_sizes), stats in zip(
-            prepared, batched_stats
-        ):
-            result = self._simulate_intermediate_layer(
-                dataset,
-                workload,
+        design = self._design
+        fmt = self._format
+        rebuilt = self._design_from_attributes()
+        if rebuilt != design:
+            if (rebuilt.feature_format, rebuilt.slice_size) != (
+                design.feature_format,
+                design.slice_size,
+            ):
+                fmt = rebuilt.format_instance()
+            design = rebuilt
+        if type(self)._build_context is not AcceleratorModel._build_context:
+            # A legacy subclass overrides the old context-construction hook:
+            # honor it (the pre-refactor simulate() always called it) and
+            # finish the run through the shared pipeline stages.
+            config = config or SystemConfig()
+            workloads = build_workloads(dataset, variant=variant)
+            context = self._build_context(dataset, config, workloads, trace_cache)
+            return complete_run(
                 context,
-                row_nnz,
-                row_lines,
-                pass_sizes,
-                replay_stats=stats,
+                workloads,
+                variant=variant,
+                seed=seed,
+                max_sampled_layers=max_sampled_layers,
             )
-            result.weight = weight
-            layer_results.append(result)
-
-        return SimulationResult(
-            accelerator=self.name,
-            dataset=dataset.name,
-            layers=layer_results,
-            frequency_ghz=config.engines.frequency_ghz,
-            metadata={
-                "variant": variant,
-                "num_layers": dataset.num_layers,
-                "cache_lines": context.cache_lines,
-                "feature_passes": context.tiling.feature_passes,
-                "dest_tile_vertices": context.tiling.dest_tile_vertices,
-            },
+        return simulate_design(
+            design,
+            dataset,
+            config=config,
+            variant=variant,
+            max_sampled_layers=max_sampled_layers,
+            seed=seed,
+            trace_cache=trace_cache,
+            feature_format=fmt,
         )
 
     # ------------------------------------------------------------------ #
-    # Context construction
+    # Deprecated internals kept for backward compatibility
     # ------------------------------------------------------------------ #
-    @staticmethod
-    def _reordered_for_locality(graph: CSRGraph) -> CSRGraph:
-        # Islandization reorders vertices so islands occupy consecutive
-        # ids.  On graphs that already have a locality-friendly ordering
-        # the pass detects no profitable islands and leaves the order
-        # alone, so the reordering never degrades locality.
-        from repro.graphs.stats import clustering_score
-
-        reorder = (
-            locality_reordering
-            if _replay_backend == "vectorized"
-            else locality_reordering_reference
-        )
-        permutation = reorder(graph)
-        reordered = graph.reorder(permutation)
-        if clustering_score(reordered) >= clustering_score(graph):
-            return reordered
-        return graph
-
     def _build_context(
         self,
         dataset: Dataset,
         config: SystemConfig,
         workloads: Sequence[LayerWorkload],
         trace_cache: Optional[TraceCache] = None,
-    ) -> _RunContext:
-        # The legacy backend ignores the trace cache: the pre-PR engine
-        # rebuilt every trace per run, and the benchmark measures that.
-        if _replay_backend != "vectorized":
-            trace_cache = None
-        graph = dataset.graph
-        if self.reorders_graph:
-            if trace_cache is not None:
-                graph = trace_cache.get(
-                    ("reordered", graph.fingerprint()),
-                    lambda: self._reordered_for_locality(graph),
-                )
-            else:
-                graph = self._reordered_for_locality(graph)
-        if self.column_product:
-            # Column-product execution walks the transposed adjacency: for
-            # every destination column it gathers the corresponding input
-            # feature row, so the random feature accesses follow A^T.
-            if trace_cache is not None:
-                base = graph
-                graph = trace_cache.get(
-                    ("transposed", base.fingerprint()), base.transpose
-                )
-            else:
-                graph = graph.transpose()
-
-        cache_lines = self._effective_cache_lines(dataset, config)
-        hidden_width = dataset.hidden_width
-        if self.assumed_tiling_sparsity is not None:
-            assumed_sparsity = self.assumed_tiling_sparsity
-        elif self.tile_with_average_sparsity:
-            assumed_sparsity = dataset.intermediate_sparsity
-        else:
-            assumed_sparsity = 0.0
-        assumed_nnz = int(round(hidden_width * (1.0 - assumed_sparsity)))
-        assumed_row_lines = self._typical_row_lines(hidden_width, assumed_nnz)
-        output_row_lines = float(bytes_to_lines(hidden_width * ELEMENT_BYTES))
-        psum_buffer_lines = max(
-            int(cache_lines * self.psum_buffer_fraction), int(output_row_lines)
+    ) -> RunContext:
+        """Deprecated: build + schedule a run context (pre-pipeline API)."""
+        del workloads  # historical signature; the context never needed them
+        return schedule(
+            build_context(self._design, self._format, dataset, config, trace_cache)
         )
 
-        # GCNAX-style dataflows always process the feature matrix in width
-        # slices (two logical slices in the modelled configuration, matching
-        # the accumulation-buffer split); designs without source tiling
-        # (HyGCN) sweep the full width in one pass.
-        min_passes = self.DATAFLOW_FEATURE_PASSES if self.uses_source_tiling else 1
-        tiling = plan_tiling(
-            num_vertices=graph.num_vertices,
-            average_degree=graph.average_degree,
-            cache_lines=cache_lines,
-            psum_buffer_lines=psum_buffer_lines,
-            assumed_row_lines=assumed_row_lines,
-            output_row_lines=output_row_lines,
-            topology_bytes_per_edge=8.0,
-            supports_feature_slicing=self._format_slices_cleanly(
-                hidden_width, min_passes
-            ),
-            use_destination_tiling=self.uses_destination_tiling,
-            use_source_tiling=self.uses_source_tiling,
-            fill_fraction=self.tiling_fill_fraction,
-            min_feature_passes=min_passes,
-            max_feature_passes=max(min_passes, self.DATAFLOW_FEATURE_PASSES),
-        )
 
-        trace_token: Optional[Tuple] = None
-        if self.column_product:
-            # Column-product designs read every feature row exactly once per
-            # pass and pay partial-sum traffic instead; no feature-read reuse
-            # trace is needed.
-            trace = np.zeros(0, dtype=np.int64)
-        else:
-            # The trace depends only on the topology and the schedule knobs,
-            # never on the accelerator's timing parameters — key it on
-            # exactly those so a sweep over timing configurations reuses it.
-            trace_token = (
-                graph.fingerprint(),
-                tiling,
-                config.engines.num_aggregation_engines,
-                self.engine_partition,
-                config.sac_strip_height,
-            )
-            build_trace = (
-                aggregation_access_trace
-                if _replay_backend == "vectorized"
-                else aggregation_access_trace_reference
-            )
-            build = lambda: build_trace(
-                graph,
-                tiling,
-                num_engines=config.engines.num_aggregation_engines,
-                engine_partition=self.engine_partition,
-                strip_height=config.sac_strip_height,
-            )
-            if trace_cache is not None:
-                trace = trace_cache.get(("trace",) + trace_token, build)
-            else:
-                trace = build()
-
-        pinned = np.zeros(0, dtype=np.int64)
-        if self.pins_high_degree_vertices:
-            pinned = self._select_pinned_vertices(graph, cache_lines, assumed_row_lines)
-
-        return _RunContext(
-            graph=graph,
-            config=config,
-            cache_lines=cache_lines,
-            tiling=tiling,
-            trace=trace,
-            pinned_vertices=pinned,
-            feature_format=self._format,
-            simd=SIMDAggregationEngine(config.engines),
-            systolic=SystolicArray(config.engines),
-            dram=DRAMModel(config.dram),
-            energy_table=EnergyTable(),
-            trace_cache=trace_cache,
-            trace_token=trace_token,
-        )
-
-    def _effective_cache_lines(self, dataset: Dataset, config: SystemConfig) -> int:
-        """Cache capacity (in lines) used for this dataset.
-
-        Datasets are simulated at a reduced scale; the cache is scaled by the
-        same factor so the working-set-to-cache ratio of the paper's
-        configuration is preserved, with a floor of a few dozen feature rows
-        so tiny scaled graphs still exercise the cache at all.
-        """
-        scaled = int(config.cache.num_lines * dataset.cache_scale())
-        dense_row_lines = bytes_to_lines(dataset.hidden_width * ELEMENT_BYTES)
-        floor = 32 * dense_row_lines
-        return int(min(config.cache.num_lines, max(floor, scaled)))
-
-    #: Width slices the GCNAX-style dataflow processes per layer (the
-    #: accumulation buffer holds one slice of the partial outputs at a time).
-    DATAFLOW_FEATURE_PASSES: int = 2
-
-    def _supports_feature_slicing(self) -> bool:
-        """Whether the intermediate feature format can be read in width slices."""
-        if self._format.name in ("dense", "blocked_ellpack"):
-            return True
-        slice_size = getattr(self._format, "slice_size", None)
-        return slice_size is not None
-
-    def _format_slices_cleanly(self, width: int, passes: int) -> bool:
-        """Whether the format can serve a ``passes``-way width split exactly.
-
-        Dense rows split at cacheline granularity.  Sliced BEICSR splits at
-        unit-slice (``C``) granularity, so it needs at least ``passes`` unit
-        slices across the width.  Whole-row-bitmap BEICSR, CSR, and COO
-        cannot locate a width slice without reading the preceding data, so
-        they never split cleanly.
-        """
-        if passes <= 1:
-            return True
-        if self._format.name in ("dense", "blocked_ellpack"):
-            return width // passes >= 1
-        slice_size = getattr(self._format, "slice_size", None)
-        if slice_size is None:
-            return False
-        return (width + slice_size - 1) // slice_size >= passes
-
-    def _pass_access_overhead(self, width: int, passes: int) -> Tuple[int, bool]:
-        """Per-access penalty of reading one width slice in this format.
-
-        Returns ``(extra_lines, aligned)``: formats that slice cleanly pay
-        nothing; formats that cannot (whole-row bitmaps, CSR, COO) must read
-        their embedded index plus a partially unaligned span to extract the
-        slice, costing roughly one extra cacheline per access and losing the
-        alignment guarantee (paper Section V-B).
-        """
-        if passes <= 1 or self._format_slices_cleanly(width, passes):
-            return 0, self._format.aligned
-        return 1, False
-
-    def _typical_row_lines(self, width: int, nnz: int) -> float:
-        """Cachelines per feature row for the given non-zero count."""
-        layout = self._format.build_layout(
-            np.asarray([nnz], dtype=np.int64), width
-        )
-        return float(layout.row_read_lines(0).size)
-
-    def _select_pinned_vertices(
-        self, graph: CSRGraph, cache_lines: int, row_lines: float
-    ) -> np.ndarray:
-        """Highest in-degree vertices whose rows fit the pinned cache share."""
-        in_degrees = np.zeros(graph.num_vertices, dtype=np.int64)
-        np.add.at(in_degrees, graph.indices, 1)
-        budget_rows = int(cache_lines * self.pinned_cache_fraction / max(row_lines, 1.0))
-        if budget_rows <= 0:
-            return np.zeros(0, dtype=np.int64)
-        return np.argsort(-in_degrees, kind="stable")[:budget_rows].astype(np.int64)
-
-    @staticmethod
-    def _sample_layers(
-        workloads: Sequence[LayerWorkload], max_sampled: int
-    ) -> List[Tuple[LayerWorkload, float]]:
-        """Pick representative intermediate layers and their weights."""
-        count = len(workloads)
-        if count <= max_sampled:
-            return [(workload, 1.0) for workload in workloads]
-        positions = np.linspace(0, count - 1, max_sampled)
-        indices = sorted(set(int(round(position)) for position in positions))
-        weight = count / len(indices)
-        return [(workloads[index], weight) for index in indices]
-
-    # ------------------------------------------------------------------ #
-    # Intermediate layers (trace-driven)
-    # ------------------------------------------------------------------ #
-    def _layer_row_tables(
-        self, workload: LayerWorkload, context: _RunContext, seed: int
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """Per-row non-zero counts for the layer's input features, and the
-        resulting per-row transfer sizes (in lines) under this format."""
-        num_vertices = context.graph.num_vertices
-        row_nnz = row_nonzero_distribution(
-            num_rows=num_vertices,
-            width=workload.width_in,
-            sparsity=workload.input_sparsity,
-            seed=seed + workload.layer_index,
-        )
-        layout = self._format.build_layout(row_nnz, workload.width_in)
-        if get_replay_backend() == "vectorized":
-            row_lines = layout.row_read_line_counts()
-        else:
-            row_lines = np.fromiter(
-                (layout.row_read_lines(row).size for row in range(num_vertices)),
-                dtype=np.int64,
-                count=num_vertices,
-            )
-        return row_nnz, row_lines
-
-    def _pass_size_tables(
-        self, workload: LayerWorkload, context: _RunContext, row_lines: np.ndarray
-    ) -> List[np.ndarray]:
-        """Lines transferred per access in each feature pass.
-
-        The row's lines are spread across the passes as evenly as integers
-        allow (a sliced format reads a different subset of unit slices per
-        pass), so the per-pass sizes sum back to the full row.  Formats that
-        cannot be read in width slices pay an extra (unaligned) line per
-        access.
-        """
-        passes = context.tiling.feature_passes
-        extra_lines, _ = self._pass_access_overhead(workload.width_in, passes)
-        base_lines = row_lines // passes
-        remainder = row_lines % passes
-        return [
-            np.maximum(1, base_lines + (pass_index < remainder).astype(np.int64))
-            + extra_lines
-            for pass_index in range(passes)
-        ]
-
-    def _batched_replay(
-        self,
-        context: _RunContext,
-        first_workload: LayerWorkload,
-        prepared: Sequence[Tuple],
-    ) -> Tuple[Optional[RowCacheStats], List[Optional[List[RowCacheStats]]]]:
-        """Evaluate every cache replay of the run in one engine call.
-
-        Covers the sampled intermediate layers (one table per feature pass)
-        plus the first layer's dense replay; all of them share the trace
-        structure and — without a pinned partition — the capacity, so one
-        ``replay_many`` amortises the evaluation overhead across the run.
-        Returns ``(None, [None, ...])`` whenever per-layer replay must
-        happen instead: the legacy backend, column-product designs (no
-        trace), or pinned partitions (per-layer shared capacity).
-        """
-        if (
-            get_replay_backend() != "vectorized"
-            or self.column_product
-            or context.trace.size == 0
-            or context.pinned_vertices.size
-        ):
-            return None, [None] * len(prepared)
-        tables: List[np.ndarray] = []
-        for _, _, _, _, pass_sizes in prepared:
-            tables.extend(pass_sizes)
-        dense_row_lines = bytes_to_lines(first_workload.width_out * ELEMENT_BYTES)
-        tables.append(
-            np.full(context.graph.num_vertices, dense_row_lines, dtype=np.int64)
-        )
-        stats = context.engine().replay_many(tables, context.cache_lines)
-        batched: List[Optional[List[RowCacheStats]]] = []
-        cursor = 0
-        for _, _, _, _, pass_sizes in prepared:
-            batched.append(stats[cursor : cursor + len(pass_sizes)])
-            cursor += len(pass_sizes)
-        return stats[-1], batched
-
-    def _simulate_intermediate_layer(
-        self,
-        dataset: Dataset,
-        workload: LayerWorkload,
-        context: _RunContext,
-        row_nnz: np.ndarray,
-        row_lines: np.ndarray,
-        pass_sizes: List[np.ndarray],
-        replay_stats: Optional[List[RowCacheStats]] = None,
-    ) -> LayerResult:
-        aggregation = self._aggregation_phase(
-            workload, context, row_lines, pass_sizes, replay_stats
-        )
-        combination = self._combination_phase(dataset, workload, context, row_nnz)
-        return self._assemble_layer(workload, context, aggregation, combination)
-
-    def _aggregation_phase(
-        self,
-        workload: LayerWorkload,
-        context: _RunContext,
-        row_lines: np.ndarray,
-        pass_sizes: List[np.ndarray],
-        replay_stats: Optional[List[RowCacheStats]] = None,
-    ) -> PhaseResult:
-        config = context.config
-        graph = context.graph
-        passes = context.tiling.feature_passes
-        edge_fraction = workload.edge_fraction
-        _, aligned_reads = self._pass_access_overhead(workload.width_in, passes)
-
-        if self.column_product:
-            # Column-product execution streams every input feature row exactly
-            # once (per feature pass it streams 1/passes of each row), so the
-            # read volume is one full pass over the compressed matrix and the
-            # cache plays no role in the feature reads.
-            total_lines = int(row_lines.sum())
-            feature_read_bytes = float(total_lines * CACHELINE_BYTES)
-            cache_accesses = float(total_lines)
-            hit_rate = 0.0
-        else:
-            # The pinned rows live in a dedicated partition: their accesses
-            # always hit and the capacity they use is removed from the
-            # shared pool.
-            shared_capacity = context.cache_lines
-            if context.pinned_vertices.size:
-                pinned_lines = int(pass_sizes[0][context.pinned_vertices].sum())
-                shared_capacity = max(1, context.cache_lines - pinned_lines)
-
-            hit_lines = 0
-            miss_lines = 0
-            accesses = 0
-            hits = 0
-            if get_replay_backend() == "vectorized":
-                if replay_stats is None:
-                    replay_stats = context.engine().replay_many(
-                        pass_sizes, shared_capacity
-                    )
-                for stats in replay_stats:
-                    accesses += stats.accesses
-                    hits += stats.hits
-                    hit_lines += stats.hit_lines
-                    miss_lines += stats.miss_lines
-            else:
-                cache = RowCache(shared_capacity)
-                pinned_set = set(context.pinned_vertices.tolist())
-                trace = context.trace
-                for pass_index in range(passes):
-                    per_pass_lines = pass_sizes[pass_index]
-                    cache.flush()
-                    if pinned_set:
-                        sizes = per_pass_lines.tolist()
-                        for row in trace.tolist():
-                            size = sizes[row]
-                            accesses += 1
-                            if row in pinned_set:
-                                hits += 1
-                                hit_lines += size
-                            elif cache.access(row, size):
-                                hits += 1
-                                hit_lines += size
-                            else:
-                                miss_lines += size
-                    else:
-                        cache.access_trace(trace, per_pass_lines)
-                        accesses += cache.stats.accesses
-                        hits += cache.stats.hits
-                        hit_lines += cache.stats.hit_lines
-                        miss_lines += cache.stats.miss_lines
-                        cache.reset_stats()
-
-            feature_read_bytes = miss_lines * CACHELINE_BYTES * edge_fraction
-            cache_accesses = (hit_lines + miss_lines) * edge_fraction
-            hit_rate = hits / accesses if accesses else 0.0
-
-        num_edges = graph.num_edges * edge_fraction
-        topology_bytes = self._topology_bytes(graph, workload) * passes
-
-        density = 1.0
-        if self.sparse_aggregation_compute:
-            density = max(1e-3, 1.0 - workload.input_sparsity)
-        cost = context.simd.aggregation_cost(
-            num_edges=num_edges,
-            feature_width=workload.width_in,
-            density=density,
-        )
-        compute_cycles = cost.cycles * self.aggregation_compute_scale
-        macs = cost.mac_operations * self.aggregation_compute_scale
-
-        psum_bytes = 0.0
-        if self.psum_traffic_factor > 0:
-            psum_bytes = (
-                self.psum_traffic_factor
-                * graph.num_vertices
-                * workload.width_in
-                * ELEMENT_BYTES
-            )
-
-        traffic = TrafficBreakdown(
-            topology_bytes=topology_bytes,
-            feature_read_bytes=feature_read_bytes,
-            psum_bytes=psum_bytes,
-        )
-        pattern = TrafficPattern(
-            average_burst_lines=float(np.mean(pass_sizes[0])),
-            aligned=aligned_reads,
-            sequential_fraction=topology_bytes / max(traffic.total_bytes, 1.0),
-        )
-        memory_cycles = context.dram.transfer_cycles(
-            traffic.total_bytes, config.engines.frequency_ghz, pattern
-        )
-        return PhaseResult(
-            cycles=max(compute_cycles, memory_cycles),
-            compute_cycles=compute_cycles,
-            memory_cycles=memory_cycles,
-            macs=macs,
-            traffic=traffic,
-            cache_accesses=cache_accesses,
-            cache_hit_rate=hit_rate,
-        )
-
-    def _combination_phase(
-        self,
-        dataset: Dataset,
-        workload: LayerWorkload,
-        context: _RunContext,
-        row_nnz: np.ndarray,
-    ) -> PhaseResult:
-        config = context.config
-        graph = context.graph
-        num_vertices = graph.num_vertices
-
-        density = 1.0
-        if self.combination_zero_skipping:
-            density = max(1e-3, 1.0 - workload.input_sparsity)
-        gemm = context.systolic.gemm_cost(
-            m=num_vertices,
-            k=workload.width_in,
-            n=workload.width_out,
-            density=density,
-        )
-
-        weight_bytes = context.systolic.weight_bytes(workload.width_in, workload.width_out)
-        output_write_bytes = self._output_write_bytes(
-            num_vertices, workload.width_out, workload.output_sparsity
-        )
-        traffic = TrafficBreakdown(
-            weight_bytes=weight_bytes,
-            feature_write_bytes=output_write_bytes,
-        )
-        pattern = TrafficPattern(
-            average_burst_lines=DRAMModel.SATURATION_BURST_LINES,
-            aligned=True,
-            sequential_fraction=1.0,
-        )
-        memory_cycles = context.dram.transfer_cycles(
-            traffic.total_bytes, config.engines.frequency_ghz, pattern
-        )
-        return PhaseResult(
-            cycles=max(gemm.cycles, memory_cycles),
-            compute_cycles=gemm.cycles,
-            memory_cycles=memory_cycles,
-            macs=gemm.mac_operations,
-            traffic=traffic,
-            cache_accesses=0.0,
-            cache_hit_rate=0.0,
-        )
-
-    # ------------------------------------------------------------------ #
-    # First layer (analytic)
-    # ------------------------------------------------------------------ #
-    def _simulate_first_layer(
-        self,
-        dataset: Dataset,
-        workload: LayerWorkload,
-        context: _RunContext,
-        replay_stats: Optional[RowCacheStats] = None,
-    ) -> LayerResult:
-        """First layer: combination of the given input features, then
-        aggregation of the (dense) result.
-
-        All modelled designs process the first layer combination-first, the
-        standard optimisation when the width shrinks (Section III-A).  Input
-        features are streamed once; ultra-sparse inputs (one-hot encodings)
-        are stored in CSR, dense embeddings are stored densely.  Designs with
-        sparsity-aware compute (SGCN's aggregation-engine combination,
-        AWB-GCN's zero skipping) only compute on the non-zero inputs.
-        """
-        config = context.config
-        graph = context.graph
-        num_vertices = graph.num_vertices
-        width_in = workload.width_in
-        width_out = workload.width_out
-        input_density = max(1e-4, 1.0 - workload.input_sparsity)
-
-        # --- combination of X_0 @ W_0 --------------------------------- #
-        if workload.input_sparsity >= 0.5:
-            input_read_bytes = num_vertices * width_in * input_density * (
-                ELEMENT_BYTES + 4
-            ) + (num_vertices + 1) * 4
-        else:
-            input_read_bytes = num_vertices * width_in * ELEMENT_BYTES
-
-        if self.sparse_first_layer or self.combination_zero_skipping:
-            # SGCN runs the first combination as a sparse gather-accumulate on
-            # its aggregation engines; AWB-GCN's zero skipping achieves the
-            # same compute reduction on ultra-sparse one-hot inputs.
-            gemm_density = input_density
-        else:
-            # Other designs skip only the input feature columns that are zero
-            # for every vertex in the current tile (coarse column skipping),
-            # which captures part of the one-hot sparsity but leaves the
-            # systolic array underutilised for scattered non-zeros; model the
-            # residual work as the geometric mean of dense and fully sparse.
-            gemm_density = float(np.sqrt(input_density))
-        gemm = context.systolic.gemm_cost(
-            m=num_vertices, k=width_in, n=width_out, density=gemm_density
-        )
-        weight_bytes = context.systolic.weight_bytes(width_in, width_out)
-
-        # --- aggregation of the (dense) combination result ------------ #
-        num_edges = graph.num_edges * workload.edge_fraction
-        agg_cost = context.simd.aggregation_cost(
-            num_edges=num_edges, feature_width=width_out, density=1.0
-        )
-        dense_row_lines = bytes_to_lines(width_out * ELEMENT_BYTES)
-        if self.column_product or context.trace.size == 0:
-            # Column-product first layer: the dense intermediate is streamed
-            # once and partial sums absorb the reuse cost.
-            agg_read_bytes = float(num_vertices * dense_row_lines * CACHELINE_BYTES)
-            cache_accesses = float(num_vertices * dense_row_lines)
-            first_layer_hit_rate = 0.0
-        else:
-            # The dense intermediate is re-read per edge with the same hit
-            # rate a dense-format run of this schedule achieves; approximate
-            # it with a single cache replay using dense rows.  The full
-            # (unpinned) trace is replayed at full capacity here, matching
-            # the reference path.
-            if replay_stats is not None:
-                stats = replay_stats
-            elif get_replay_backend() == "vectorized":
-                sizes = np.full(num_vertices, dense_row_lines, dtype=np.int64)
-                stats = context.engine_full().replay(sizes, context.cache_lines)
-            else:
-                cache = RowCache(context.cache_lines)
-                sizes = np.full(num_vertices, dense_row_lines, dtype=np.int64)
-                stats = cache.access_trace(context.trace, sizes)
-            agg_read_bytes = stats.miss_lines * CACHELINE_BYTES * workload.edge_fraction
-            cache_accesses = float(stats.hit_lines + stats.miss_lines)
-            first_layer_hit_rate = stats.hit_rate
-        topology_bytes = self._topology_bytes(graph, workload)
-
-        output_write_bytes = self._output_write_bytes(
-            num_vertices, width_out, workload.output_sparsity
-        )
-
-        traffic = TrafficBreakdown(
-            topology_bytes=topology_bytes,
-            feature_read_bytes=input_read_bytes + agg_read_bytes,
-            feature_write_bytes=output_write_bytes,
-            weight_bytes=weight_bytes,
-        )
-        pattern = TrafficPattern(
-            average_burst_lines=4.0, aligned=True, sequential_fraction=0.5
-        )
-        memory_cycles = context.dram.transfer_cycles(
-            traffic.total_bytes, config.engines.frequency_ghz, pattern
-        )
-        compute_cycles = gemm.cycles + agg_cost.cycles
-        if config.pipeline_phases:
-            cycles = max(compute_cycles, memory_cycles)
-        else:
-            cycles = compute_cycles + memory_cycles
-
-        macs = gemm.mac_operations + agg_cost.mac_operations
-        energy = context.energy_table.breakdown(
-            num_macs=macs,
-            cache_accesses=cache_accesses,
-            dram_bytes=traffic.total_bytes,
-        )
-        return LayerResult(
-            layer_index=0,
-            cycles=cycles,
-            aggregation_cycles=max(agg_cost.cycles, memory_cycles / 2),
-            combination_cycles=max(gemm.cycles, memory_cycles / 2),
-            aggregation_compute_cycles=agg_cost.cycles,
-            combination_compute_cycles=gemm.cycles,
-            memory_cycles=memory_cycles,
-            macs=macs,
-            traffic=traffic,
-            cache_accesses=cache_accesses,
-            cache_hit_rate=first_layer_hit_rate,
-            energy=energy,
-        )
-
-    # ------------------------------------------------------------------ #
-    # Helpers
-    # ------------------------------------------------------------------ #
-    def _topology_bytes(self, graph: CSRGraph, workload: LayerWorkload) -> float:
-        """Bytes of topology streamed for one full sweep of the edges."""
-        per_edge = 4 + (4 if workload.weighted_aggregation else 0)
-        return (
-            graph.num_edges * workload.edge_fraction * per_edge
-            + (graph.num_vertices + 1) * 4
-        )
-
-    def _output_write_bytes(
-        self, num_vertices: int, width: int, sparsity: float
-    ) -> float:
-        """Bytes written for the layer's output features in this design's format."""
-        nnz = int(round(width * (1.0 - sparsity)))
-        layout = self._format.build_layout(
-            np.asarray([max(nnz, 0)], dtype=np.int64), width
-        )
-        return float(num_vertices * layout.row_write_bytes(0))
-
-    def _assemble_layer(
-        self,
-        workload: LayerWorkload,
-        context: _RunContext,
-        aggregation: PhaseResult,
-        combination: PhaseResult,
-    ) -> LayerResult:
-        config = context.config
-        if config.pipeline_phases:
-            cycles = max(aggregation.cycles, combination.cycles)
-        else:
-            cycles = aggregation.cycles + combination.cycles
-        traffic = aggregation.traffic + combination.traffic
-        macs = aggregation.macs + combination.macs
-        cache_accesses = aggregation.cache_accesses + combination.cache_accesses
-        energy = context.energy_table.breakdown(
-            num_macs=macs,
-            cache_accesses=cache_accesses,
-            dram_bytes=traffic.total_bytes,
-        )
-        return LayerResult(
-            layer_index=workload.layer_index,
-            cycles=cycles,
-            aggregation_cycles=aggregation.cycles,
-            combination_cycles=combination.cycles,
-            aggregation_compute_cycles=aggregation.compute_cycles,
-            combination_compute_cycles=combination.compute_cycles,
-            memory_cycles=aggregation.memory_cycles + combination.memory_cycles,
-            macs=macs,
-            traffic=traffic,
-            cache_accesses=cache_accesses,
-            cache_hit_rate=aggregation.cache_hit_rate,
-            energy=energy,
-        )
+__all__ = [
+    "AcceleratorModel",
+    "GCN_VARIANTS",
+    "LayerWorkload",
+    "PhaseResult",
+    "REPLAY_BACKENDS",
+    "RunContext",
+    "SAGE_EDGE_FRACTION",
+    "build_workloads",
+    "get_replay_backend",
+    "set_replay_backend",
+    "simulate_design",
+]

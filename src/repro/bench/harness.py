@@ -49,10 +49,13 @@ BENCH_SCHEMA_VERSION = 1
 #: Default benchmark cases: ``(pack name, max_vertices)`` — ``None`` keeps
 #: the pack's default scale.  The main-comparison grid is measured at its
 #: default scale and at a 4x larger one where the replay dominates even
-#: more clearly.
+#: more clearly; the design-space grid tracks the overhead of the
+#: DesignPoint/phase-pipeline path (24 derived design points per dataset,
+#: none of them a memoized built-in model).
 DEFAULT_CASES: Tuple[Tuple[str, Optional[int]], ...] = (
     ("paper-comparison", None),
     ("paper-comparison", 2048),
+    ("design-space", None),
 )
 
 #: Case used by ``repro bench --quick`` (CI smoke): the smallest built-in

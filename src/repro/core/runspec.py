@@ -32,7 +32,8 @@ import json
 from dataclasses import dataclass, field, replace
 from typing import Dict, Mapping, Optional, Tuple
 
-from repro.accelerator.registry import ACCELERATORS
+from repro.accelerator.design import DESIGN_KNOBS
+from repro.accelerator.registry import ACCELERATORS, resolve_design
 from repro.accelerator.simulator import GCN_VARIANTS
 from repro.core.config import HBM1, HBM2, DRAMConfig, SystemConfig
 from repro.errors import ConfigurationError
@@ -155,6 +156,12 @@ class RunSpec:
             the accelerator's native intermediate-feature format (``None``
             keeps the design's own format and, for cache-compatibility, stays
             out of the run identity).
+        design: Optional mapping of :class:`~repro.accelerator.design.DesignPoint`
+            knob overrides applied on top of the accelerator's design point
+            (see :data:`~repro.accelerator.design.DESIGN_KNOBS`).  ``None``
+            (or an empty mapping) runs the design as registered and — like
+            ``feature_format`` — stays out of the run identity, so caches
+            written before the axis existed keep hitting.
         tag: Optional free-form label carried into exports (e.g. the sweep
             axis value the run represents).
     """
@@ -168,6 +175,7 @@ class RunSpec:
     num_layers: int = DEFAULT_NUM_LAYERS
     overrides: Mapping[str, object] = field(default_factory=dict)
     feature_format: Optional[str] = None
+    design: Optional[Mapping[str, object]] = None
     tag: str = ""
 
     def __post_init__(self) -> None:
@@ -184,6 +192,51 @@ class RunSpec:
             object.__setattr__(
                 self, "feature_format", FORMATS.canonical(self.feature_format)
             )
+        # Normalise the design override axis: a key-sorted plain dict, with
+        # "no overrides" collapsing to None so empty mappings do not mint a
+        # distinct run identity.  When the accelerator (and every key) is
+        # resolvable, values are canonicalised through a derived DesignPoint
+        # and redundant knobs — ones whose removal leaves the derived point
+        # unchanged, including explicit format defaults like a slice_size of
+        # 96 on BEICSR — are dropped, so equivalent spellings share one
+        # scenario_id and one cache entry.  Unknown accelerators/knobs keep
+        # the raw mapping for validate() to reject with a precise error.
+        if self.design is not None:
+            design = {key: self.design[key] for key in sorted(self.design)}
+            if (
+                design
+                and self.feature_format is not None
+                and {"feature_format", "slice_size"} & set(design)
+            ):
+                # Checked before normalisation: deriving format knobs against
+                # the *base* design while a feature_format axis would replace
+                # the format afterwards produces misleading errors (and, if
+                # it succeeded, a mislabeled run).
+                raise ConfigurationError(
+                    "design format knobs "
+                    f"{sorted({'feature_format', 'slice_size'} & set(design))} "
+                    f"conflict with the feature_format={self.feature_format!r} "
+                    "axis; set the format through one mechanism only"
+                )
+            if (
+                design
+                and self.accelerator in ACCELERATORS
+                and set(design) <= set(DESIGN_KNOBS)
+            ):
+                base = resolve_design(self.accelerator)
+                derived = base.derive(**design)
+                if design.get("slice_size") is not None and derived.slice_size is None:
+                    raise ConfigurationError(
+                        f"slice_size={design['slice_size']} has no effect: "
+                        f"format {derived.feature_format!r} has no slice knob"
+                    )
+                kept = dict(design)
+                for key in list(kept):
+                    reduced = {k: v for k, v in kept.items() if k != key}
+                    if base.derive(**reduced) == derived:
+                        del kept[key]
+                design = {key: getattr(derived, key) for key in sorted(kept)}
+            object.__setattr__(self, "design", design or None)
 
     def __hash__(self) -> int:
         # The frozen dataclass's generated __hash__ would hash the overrides
@@ -213,6 +266,17 @@ class RunSpec:
             )
         if self.feature_format is not None:
             FORMATS.factory(self.feature_format)
+        if self.design:
+            unknown = sorted(set(self.design) - set(DESIGN_KNOBS))
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown design knob(s) {unknown}; overridable knobs: "
+                    f"{', '.join(DESIGN_KNOBS)}"
+                )
+            # (The feature_format-axis vs design-format-knob conflict is
+            # rejected in __post_init__, before normalisation could derive
+            # against the wrong base format.)
+            resolve_design(self.accelerator).derive(**self.design)
         if self.num_layers <= 0:
             raise ConfigurationError("num_layers must be positive")
         if self.max_vertices < 2:
@@ -248,6 +312,8 @@ class RunSpec:
         }
         if self.feature_format is not None:
             data["feature_format"] = self.feature_format
+        if self.design:
+            data["design"] = dict(self.design)
         return data
 
     @property
@@ -274,6 +340,9 @@ class RunSpec:
             parts.append(f"seed{self.seed}")
         for key, value in sorted(self.overrides.items()):
             parts.append(f"{key}={value}")
+        if self.design:
+            for key, value in self.design.items():
+                parts.append(f"{key}={value}")
         return "/".join(str(part) for part in parts)
 
     # ------------------------------------------------------------------ #
@@ -287,6 +356,7 @@ class RunSpec:
     def from_dict(cls, data: Mapping[str, object]) -> "RunSpec":
         """Rebuild a spec produced by :meth:`to_dict`."""
         raw_format = data.get("feature_format")
+        raw_design = data.get("design")
         return cls(
             dataset=str(data["dataset"]),
             accelerator=str(data["accelerator"]),
@@ -297,6 +367,7 @@ class RunSpec:
             num_layers=int(data.get("num_layers", DEFAULT_NUM_LAYERS)),
             overrides=dict(data.get("overrides", {})),
             feature_format=None if raw_format is None else str(raw_format),
+            design=None if raw_design is None else dict(raw_design),
             tag=str(data.get("tag", "")),
         )
 

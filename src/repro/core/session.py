@@ -41,8 +41,9 @@ Example::
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.accelerator.design import DESIGN_KNOBS, DesignPoint
 from repro.accelerator.registry import ACCELERATORS
 from repro.accelerator.simulator import GCN_VARIANTS, AcceleratorModel
 from repro.core.config import SystemConfig
@@ -93,13 +94,22 @@ class Session:
         self.max_cached_datasets = max_cached_datasets
         self._traces = TraceCache(max_entries=max_cached_traces)
         self._datasets: "OrderedDict[Tuple[str, int, int, int], Dataset]" = OrderedDict()
-        # name/format -> (accelerator factory, format name, format factory,
-        # instance).  Both factories are kept so a cache hit can detect that
-        # either registration changed underneath it (unregister(),
-        # temporary() shadowing) and not serve a stale model.
+        # (name, format, design overrides) -> (accelerator factory, format
+        # name, format factory, instance).  Both factories are kept so a
+        # cache hit can detect that either registration changed underneath
+        # it (unregister(), temporary() shadowing) and not serve a stale
+        # model.
         self._accelerators: Dict[
-            Tuple[str, Optional[str]],
+            Tuple[str, Optional[str], Optional[Tuple[Tuple[str, object], ...]]],
             Tuple[Callable[[], AcceleratorModel], str, Optional[object], AcceleratorModel],
+        ] = {}
+        # Resolved design point -> (accelerator factory, format factory,
+        # model): two differently-spelled requests that resolve to an equal
+        # DesignPoint (e.g. an accelerator's native format requested as an
+        # explicit feature_format override) share one model instance.
+        self._design_models: Dict[
+            Tuple[Callable[[], AcceleratorModel], DesignPoint],
+            Tuple[Optional[object], AcceleratorModel],
         ] = {}
 
     # ------------------------------------------------------------------ #
@@ -132,23 +142,59 @@ class Session:
         return dataset
 
     def accelerator(
-        self, name: str, feature_format: Optional[str] = None
+        self,
+        name: str,
+        feature_format: Optional[str] = None,
+        design: Optional[Mapping[str, object]] = None,
     ) -> AcceleratorModel:
-        """Memoized accelerator instantiation (with optional format override).
+        """Memoized accelerator instantiation (with optional overrides).
 
         Args:
             name: Accelerator registry name (aliases accepted).
             feature_format: Optional format registry name replacing the
                 design's native intermediate-feature format.
+            design: Optional :class:`~repro.accelerator.design.DesignPoint`
+                knob overrides applied to the accelerator's design.
+
+        Requests are memoized twice: by the (name, format, design) spelling,
+        and by the *resolved* design point — so a request that spells out an
+        accelerator's native configuration explicitly shares the plain
+        request's model instance instead of instantiating a duplicate.
         """
         # Consult the registries on every call (not just misses): an unknown
         # name must raise even if a model was cached while a temporary()
         # registration was live, and a re-registered accelerator *or format*
         # must rebuild instead of serving a stale instance.
         factory = ACCELERATORS.factory(name)
+        if design:
+            # Only simulation knobs may be overridden: identity/presentation
+            # fields (name, display_name, ...) reaching derive() would make
+            # the result document disagree with the spec that produced it.
+            # RunSpec.validate() enforces the same bound, but pre-resolved
+            # runs (and direct accelerator() calls) skip full validation.
+            unknown = sorted(set(design) - set(DESIGN_KNOBS))
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown design knob(s) {unknown}; overridable knobs: "
+                    f"{', '.join(DESIGN_KNOBS)}"
+                )
+            if feature_format is not None and (
+                {"feature_format", "slice_size"} & set(design)
+            ):
+                # use_format runs after use_design, so a design-axis format
+                # would be silently discarded while still labelling the run.
+                raise ConfigurationError(
+                    "design format knobs conflict with the "
+                    f"feature_format={feature_format!r} override; set the "
+                    "format through one mechanism only"
+                )
+        design_key = (
+            tuple(sorted(design.items())) if design else None
+        )
         key = (
             ACCELERATORS.canonical(name),
             None if feature_format is None else FORMATS.canonical(feature_format),
+            design_key,
         )
         cached = self._accelerators.get(key)
         if cached is not None:
@@ -158,15 +204,21 @@ class Session:
             ):
                 return model
         model = factory()
+        if design:
+            model = model.use_design(model.design.derive(**dict(design)))
         if feature_format is not None:
             model = model.use_format(feature_format)
         format_name = FORMATS.canonical(model.feature_format_name)
-        self._accelerators[key] = (
-            factory,
-            format_name,
-            self._format_factory(format_name),
-            model,
-        )
+        format_factory = self._format_factory(format_name)
+        # Dedupe by resolved design point: an equal point built earlier (and
+        # with the same live registrations) is the same model.
+        point_key = (factory, model.design)
+        deduped = self._design_models.get(point_key)
+        if deduped is not None and deduped[0] is format_factory:
+            model = deduped[1]
+        else:
+            self._design_models[point_key] = (format_factory, model)
+        self._accelerators[key] = (factory, format_name, format_factory, model)
         return model
 
     @staticmethod
@@ -199,6 +251,7 @@ class Session:
         """Drop every memoized dataset, accelerator, and trace entry."""
         self._datasets.clear()
         self._accelerators.clear()
+        self._design_models.clear()
         self._traces.clear()
 
     # ------------------------------------------------------------------ #
@@ -233,6 +286,12 @@ class Session:
                 "pre-resolved accelerator instance; apply the override via "
                 "Session.accelerator(name, feature_format=...) instead"
             )
+        if accelerator is not None and spec.design:
+            raise ConfigurationError(
+                f"design overrides {dict(spec.design)!r} conflict with a "
+                "pre-resolved accelerator instance; apply them via "
+                "Session.accelerator(name, design=...) instead"
+            )
         if dataset is None and accelerator is None:
             spec.validate()
         elif spec.variant not in GCN_VARIANTS:
@@ -255,7 +314,11 @@ class Session:
         model = (
             accelerator
             if accelerator is not None
-            else self.accelerator(spec.accelerator, feature_format=spec.feature_format)
+            else self.accelerator(
+                spec.accelerator,
+                feature_format=spec.feature_format,
+                design=spec.design,
+            )
         )
         effective = self._effective_config(
             spec, config if config is not None else self.base_config

@@ -3,7 +3,11 @@
 Subcommands:
 
 * ``list`` — show the built-in scenario packs, datasets, and accelerators;
-* ``run`` — simulate one scenario and print its summary;
+* ``accelerators`` — list the registered accelerators; ``--describe`` prints
+  each design point's Table-I row and full knob settings;
+* ``run`` — simulate one scenario and print its summary (``--set`` accepts
+  both flat ``SystemConfig`` override keys and ``DesignPoint`` knob
+  overrides, routed by key name);
 * ``sweep`` — expand a scenario pack and run it across a worker pool with
   result caching, writing per-scenario JSON plus a merged summary CSV
   (execution is session-based: ``--workers 1`` batches the pack through
@@ -23,12 +27,16 @@ import json
 import logging
 import sys
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.accelerator.registry import available_accelerators
+from repro.accelerator.design import DESIGN_KNOBS
+from repro.accelerator.registry import (
+    available_accelerators,
+    resolve_design,
+)
 from repro.accelerator.simulator import GCN_VARIANTS
 from repro.errors import ReproError
-from repro.formats.registry import available_formats
+from repro.formats.registry import FORMATS, available_formats
 from repro.experiments.runner import RunOutcome, SweepRunner, run_scenario
 from repro.experiments.scenarios import SCENARIO_PACKS, available_packs, get_pack
 from repro.experiments.spec import SUPPORTED_OVERRIDES, Scenario
@@ -64,6 +72,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     list_parser.set_defaults(func=_cmd_list)
 
+    accel_parser = subparsers.add_parser(
+        "accelerators", help="list registered accelerators (designs)"
+    )
+    accel_parser.add_argument(
+        "--describe",
+        action="store_true",
+        help="print each design point's Table-I row and knob settings",
+    )
+    accel_parser.set_defaults(func=_cmd_accelerators)
+
     run_parser = subparsers.add_parser("run", help="simulate one scenario")
     run_parser.add_argument("--dataset", required=True, help="dataset name")
     run_parser.add_argument(
@@ -93,7 +111,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         default=[],
         metavar="KEY=VALUE",
-        help=f"SystemConfig override (repeatable); keys: {', '.join(SUPPORTED_OVERRIDES)}",
+        help=(
+            "SystemConfig override or DesignPoint knob override "
+            "(repeatable; routed by key). Config keys: "
+            f"{', '.join(SUPPORTED_OVERRIDES)}. Design knobs: "
+            f"{', '.join(DESIGN_KNOBS)}"
+        ),
     )
     run_parser.add_argument(
         "--json", action="store_true", help="print the full result as JSON"
@@ -131,6 +154,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--dry-run",
         action="store_true",
         help="expand and validate the pack without simulating",
+    )
+    sweep_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: the pack's reduced-scale, tiny-grid variant",
     )
     sweep_parser.set_defaults(func=_cmd_sweep)
 
@@ -204,9 +232,40 @@ def _parse_overrides(pairs: Sequence[str]) -> Dict[str, object]:
         try:
             value: object = json.loads(raw)
         except ValueError:
-            value = raw
+            # JSON only accepts lowercase true/false; accept the Python
+            # spellings too so --set column_product=False cannot smuggle a
+            # truthy string into a boolean knob.
+            lowered = raw.strip().lower()
+            if lowered in ("true", "false"):
+                value = lowered == "true"
+            else:
+                value = raw
         overrides[key.strip()] = value
     return overrides
+
+
+def _route_overrides(
+    pairs: Sequence[str],
+) -> Tuple[Dict[str, object], Dict[str, object]]:
+    """Split ``--set`` pairs into (SystemConfig overrides, design knobs).
+
+    The two key families are disjoint, so every key routes unambiguously;
+    unknown keys fail here with both families listed.
+    """
+    config_overrides: Dict[str, object] = {}
+    design_overrides: Dict[str, object] = {}
+    for key, value in _parse_overrides(pairs).items():
+        if key in SUPPORTED_OVERRIDES:
+            config_overrides[key] = value
+        elif key in DESIGN_KNOBS:
+            design_overrides[key] = value
+        else:
+            raise ReproError(
+                f"unknown --set key {key!r}; SystemConfig keys: "
+                f"{', '.join(SUPPORTED_OVERRIDES)}; design knobs: "
+                f"{', '.join(DESIGN_KNOBS)}"
+            )
+    return config_overrides, design_overrides
 
 
 # --------------------------------------------------------------------------- #
@@ -226,7 +285,41 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_accelerators(args: argparse.Namespace) -> int:
+    for name in available_accelerators():
+        design = resolve_design(name)
+        if not args.describe:
+            print(f"{name:<16} {design.display_name}")
+            continue
+        print(f"{name}:")
+        for key, value in design.describe().items():
+            print(f"  {key:<22} {value}")
+        print("  knobs:")
+        for key, value in design.to_dict().items():
+            if key in ("name", "display_name"):
+                continue
+            print(f"    {key:<26} {value}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    config_overrides, design_overrides = _route_overrides(args.overrides)
+    feature_format = args.feature_format
+    # "--set feature_format=X" and "--feature-format X" describe the same
+    # run; fold the former into the latter so both spellings share one
+    # scenario identity.  The design axis keeps the format only when a
+    # slice_size override accompanies it (the two knobs must be derived
+    # together; the feature_format axis cannot carry a slice).
+    if "feature_format" in design_overrides and "slice_size" not in design_overrides:
+        spelled = str(design_overrides.pop("feature_format"))
+        if feature_format is not None and FORMATS.canonical(
+            feature_format
+        ) != FORMATS.canonical(spelled):
+            raise ReproError(
+                f"--set feature_format={spelled!r} conflicts with "
+                f"--feature-format {feature_format!r}"
+            )
+        feature_format = spelled
     scenario = Scenario(
         dataset=args.dataset,
         accelerator=args.accelerator,
@@ -234,8 +327,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         max_vertices=args.max_vertices,
         num_layers=args.layers,
-        overrides=_parse_overrides(args.overrides),
-        feature_format=args.feature_format,
+        overrides=config_overrides,
+        feature_format=feature_format,
+        design=design_overrides or None,
     )
     result = run_scenario(scenario)
     if args.json:
@@ -245,14 +339,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _resolve_packs(name: str, max_vertices: Optional[int]) -> List:
+def _resolve_packs(
+    name: str, max_vertices: Optional[int], quick: bool = False
+) -> List:
     if name.strip().lower() == "all":
-        return [get_pack(pack, max_vertices=max_vertices) for pack in available_packs()]
-    return [get_pack(name, max_vertices=max_vertices)]
+        return [
+            get_pack(pack, max_vertices=max_vertices, quick=quick)
+            for pack in available_packs()
+        ]
+    return [get_pack(name, max_vertices=max_vertices, quick=quick)]
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    specs = _resolve_packs(args.pack, args.max_vertices)
+    specs = _resolve_packs(args.pack, args.max_vertices, quick=args.quick)
 
     if args.dry_run:
         total = 0

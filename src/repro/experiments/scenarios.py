@@ -10,13 +10,21 @@ shaped like one of the SGCN paper's studies:
 * ``hbm-generation`` — HBM1 vs HBM2 bandwidth sensitivity (Fig. 18);
 * ``depth-sweep`` — GCN depth 4-28 layers (the deep-GCN scaling story);
 * ``variant-sweep`` — GCN / GINConv / GraphSAGE aggregation variants
-  (Fig. 16).
+  (Fig. 16);
+* ``design-space`` — a grid of *hypothetical* design points (execution
+  order x tiling x feature format x zero skipping) the paper only sampled,
+  expressed as :class:`~repro.accelerator.design.DesignPoint` knob
+  overrides over the GCNAX base design.
 
 Packs default to scaled-down datasets (``max_vertices``) so a full sweep
-stays tractable on a laptop; pass a larger cap for higher fidelity.
+stays tractable on a laptop; pass a larger cap for higher fidelity.  Every
+pack also has a ``quick`` variant (``get_pack(name, quick=True)``, CLI
+``repro sweep <pack> --quick``) shrinking it to a CI-smoke-sized grid.
 """
 
 from __future__ import annotations
+
+import itertools
 
 from typing import Callable, Dict, List, Optional
 
@@ -47,8 +55,50 @@ ENGINE_COUNTS = (2, 4, 8, 16, 32)
 #: GCN depths of the depth sweep (paper evaluates up to 28 layers).
 DEPTHS = (4, 8, 12, 16, 20, 24, 28)
 
+#: Scale cap used by the ``quick`` (CI smoke) variant of every pack.
+QUICK_MAX_VERTICES = 128
 
-def paper_comparison_pack(max_vertices: int = DEFAULT_PACK_MAX_VERTICES) -> SweepSpec:
+
+def _quick_cap(max_vertices: int, quick: bool) -> int:
+    """The effective scale cap: quick variants never exceed the smoke cap."""
+    return min(max_vertices, QUICK_MAX_VERTICES) if quick else max_vertices
+
+#: Base accelerator whose design point the ``design-space`` pack derives
+#: from (the paper's strongest dense baseline).
+DESIGN_SPACE_BASE = "gcnax"
+
+#: Destination-tile fill fraction shared by every ``design-space`` grid
+#: point.  No built-in design uses this value, so every grid point is
+#: guaranteed to be a *non-built-in* design point even when the other knobs
+#: happen to coincide with a registered design.
+DESIGN_SPACE_FILL_FRACTION = 0.9
+
+#: Axes of the ``design-space`` grid: (tag fragment, design knob overrides).
+DESIGN_SPACE_ORDERS = (
+    ("row", {}),
+    ("col", {"column_product": True, "psum_traffic_factor": 1.0}),
+)
+DESIGN_SPACE_TILINGS = (
+    ("tiled", {}),
+    ("untiled", {"uses_destination_tiling": False, "uses_source_tiling": False}),
+)
+DESIGN_SPACE_FORMATS = (
+    ("dense", {"feature_format": "dense"}),
+    ("beicsr", {"feature_format": "beicsr"}),
+    ("nonsliced", {"feature_format": "beicsr_nonsliced"}),
+)
+DESIGN_SPACE_SKIPPING = (
+    ("noskip", {}),
+    (
+        "zskip",
+        {"sparse_aggregation_compute": True, "combination_zero_skipping": True},
+    ),
+)
+
+
+def paper_comparison_pack(
+    max_vertices: int = DEFAULT_PACK_MAX_VERTICES, quick: bool = False
+) -> SweepSpec:
     """Main comparison grid: every paper dataset x every paper accelerator."""
     return SweepSpec(
         name="paper-comparison",
@@ -58,11 +108,13 @@ def paper_comparison_pack(max_vertices: int = DEFAULT_PACK_MAX_VERTICES) -> Swee
         ),
         datasets=FIGURE_ORDER,
         accelerators=PAPER_COMPARISON,
-        max_vertices=max_vertices,
+        max_vertices=_quick_cap(max_vertices, quick),
     )
 
 
-def cache_size_pack(max_vertices: int = DEFAULT_PACK_MAX_VERTICES) -> SweepSpec:
+def cache_size_pack(
+    max_vertices: int = DEFAULT_PACK_MAX_VERTICES, quick: bool = False
+) -> SweepSpec:
     """Global cache capacity sensitivity around the paper's 512 KB point."""
     return SweepSpec(
         name="cache-size",
@@ -73,11 +125,13 @@ def cache_size_pack(max_vertices: int = DEFAULT_PACK_MAX_VERTICES) -> SweepSpec:
             {"cache_capacity_bytes": capacity} for capacity in CACHE_CAPACITIES
         ],
         override_tags=[f"{capacity // 1024}KB" for capacity in CACHE_CAPACITIES],
-        max_vertices=max_vertices,
+        max_vertices=_quick_cap(max_vertices, quick),
     )
 
 
-def engine_count_pack(max_vertices: int = DEFAULT_PACK_MAX_VERTICES) -> SweepSpec:
+def engine_count_pack(
+    max_vertices: int = DEFAULT_PACK_MAX_VERTICES, quick: bool = False
+) -> SweepSpec:
     """Engine-count scalability around the paper's 8+8 configuration."""
     return SweepSpec(
         name="engine-count",
@@ -86,11 +140,13 @@ def engine_count_pack(max_vertices: int = DEFAULT_PACK_MAX_VERTICES) -> SweepSpe
         accelerators=SENSITIVITY_ACCELERATORS,
         override_grid=[{"num_engines": count} for count in ENGINE_COUNTS],
         override_tags=[f"{count}eng" for count in ENGINE_COUNTS],
-        max_vertices=max_vertices,
+        max_vertices=_quick_cap(max_vertices, quick),
     )
 
 
-def hbm_generation_pack(max_vertices: int = DEFAULT_PACK_MAX_VERTICES) -> SweepSpec:
+def hbm_generation_pack(
+    max_vertices: int = DEFAULT_PACK_MAX_VERTICES, quick: bool = False
+) -> SweepSpec:
     """HBM1 vs HBM2 bandwidth sensitivity (Fig. 18)."""
     return SweepSpec(
         name="hbm-generation",
@@ -99,11 +155,13 @@ def hbm_generation_pack(max_vertices: int = DEFAULT_PACK_MAX_VERTICES) -> SweepS
         accelerators=("gcnax", "hygcn", "sgcn"),
         override_grid=[{"dram": "hbm1"}, {"dram": "hbm2"}],
         override_tags=["HBM1", "HBM2"],
-        max_vertices=max_vertices,
+        max_vertices=_quick_cap(max_vertices, quick),
     )
 
 
-def depth_sweep_pack(max_vertices: int = DEFAULT_PACK_MAX_VERTICES) -> SweepSpec:
+def depth_sweep_pack(
+    max_vertices: int = DEFAULT_PACK_MAX_VERTICES, quick: bool = False
+) -> SweepSpec:
     """GCN depth sweep from shallow (4) to the paper's deep 28-layer models."""
     return SweepSpec(
         name="depth-sweep",
@@ -111,11 +169,13 @@ def depth_sweep_pack(max_vertices: int = DEFAULT_PACK_MAX_VERTICES) -> SweepSpec
         datasets=("cora", "pubmed"),
         accelerators=SENSITIVITY_ACCELERATORS,
         depths=DEPTHS,
-        max_vertices=max_vertices,
+        max_vertices=_quick_cap(max_vertices, quick),
     )
 
 
-def variant_sweep_pack(max_vertices: int = DEFAULT_PACK_MAX_VERTICES) -> SweepSpec:
+def variant_sweep_pack(
+    max_vertices: int = DEFAULT_PACK_MAX_VERTICES, quick: bool = False
+) -> SweepSpec:
     """Aggregation-variant sweep: GCN vs GINConv vs GraphSAGE (Fig. 16)."""
     return SweepSpec(
         name="variant-sweep",
@@ -123,18 +183,66 @@ def variant_sweep_pack(max_vertices: int = DEFAULT_PACK_MAX_VERTICES) -> SweepSp
         datasets=SENSITIVITY_DATASETS,
         accelerators=SENSITIVITY_ACCELERATORS,
         variants=("gcn", "gin", "sage"),
-        max_vertices=max_vertices,
+        max_vertices=_quick_cap(max_vertices, quick),
+    )
+
+
+def design_space_pack(
+    max_vertices: int = DEFAULT_PACK_MAX_VERTICES, quick: bool = False
+) -> SweepSpec:
+    """Design-space exploration: a grid of hypothetical design points.
+
+    Sweeps execution order (row vs column product) x destination tiling x
+    feature format (dense / sliced BEICSR / non-sliced BEICSR) x compute
+    zero skipping as design overrides on the GCNAX base design — 24 distinct
+    non-built-in design points over the medium datasets.  The ``quick``
+    variant shrinks the grid (one dataset, dense + sliced BEICSR only) for
+    CI smoke runs.
+    """
+    orders = DESIGN_SPACE_ORDERS
+    tilings = DESIGN_SPACE_TILINGS
+    formats = DESIGN_SPACE_FORMATS
+    skipping = DESIGN_SPACE_SKIPPING
+    datasets = SENSITIVITY_DATASETS
+    if quick:
+        formats = formats[:2]
+        tilings = tilings[:1]
+        datasets = ("pubmed",)
+    grid = []
+    tags = []
+    for (order_tag, order), (tile_tag, tile), (fmt_tag, fmt), (skip_tag, skip) in (
+        itertools.product(orders, tilings, formats, skipping)
+    ):
+        point = {"tiling_fill_fraction": DESIGN_SPACE_FILL_FRACTION}
+        point.update(order)
+        point.update(tile)
+        point.update(fmt)
+        point.update(skip)
+        grid.append(point)
+        tags.append("-".join((order_tag, tile_tag, fmt_tag, skip_tag)))
+    return SweepSpec(
+        name="design-space",
+        description=(
+            "Design-space exploration grid (execution order x tiling x "
+            "format x zero skipping) over hypothetical design points"
+        ),
+        datasets=datasets,
+        accelerators=(DESIGN_SPACE_BASE,),
+        design_grid=grid,
+        design_tags=tags,
+        max_vertices=_quick_cap(max_vertices, quick),
     )
 
 
 #: Registry of the built-in packs by CLI name.
-SCENARIO_PACKS: Dict[str, Callable[[int], SweepSpec]] = {
+SCENARIO_PACKS: Dict[str, Callable[..., SweepSpec]] = {
     "paper-comparison": paper_comparison_pack,
     "cache-size": cache_size_pack,
     "engine-count": engine_count_pack,
     "hbm-generation": hbm_generation_pack,
     "depth-sweep": depth_sweep_pack,
     "variant-sweep": variant_sweep_pack,
+    "design-space": design_space_pack,
 }
 
 
@@ -143,13 +251,19 @@ def available_packs() -> List[str]:
     return sorted(SCENARIO_PACKS)
 
 
-def get_pack(name: str, max_vertices: Optional[int] = None) -> SweepSpec:
+def get_pack(
+    name: str, max_vertices: Optional[int] = None, quick: bool = False
+) -> SweepSpec:
     """Build the named scenario pack.
 
     Args:
         name: Pack name (see :func:`available_packs`); case-insensitive,
             underscores accepted in place of dashes.
         max_vertices: Optional scale-cap override for every scenario.
+        quick: Build the pack's CI-smoke variant: a reduced scale cap
+            (:data:`QUICK_MAX_VERTICES`) and, where the pack defines one, a
+            smaller grid (``design-space`` drops to one dataset and a
+            2x1x2x2 knob grid).
     """
     key = name.strip().lower().replace("_", "-")
     if key not in SCENARIO_PACKS:
@@ -158,15 +272,18 @@ def get_pack(name: str, max_vertices: Optional[int] = None) -> SweepSpec:
             f"{', '.join(available_packs())}"
         )
     factory = SCENARIO_PACKS[key]
-    return factory(max_vertices if max_vertices is not None else DEFAULT_PACK_MAX_VERTICES)
+    cap = max_vertices if max_vertices is not None else DEFAULT_PACK_MAX_VERTICES
+    return factory(cap, quick=quick)
 
 
 __all__ = [
     "DEFAULT_PACK_MAX_VERTICES",
+    "QUICK_MAX_VERTICES",
     "SCENARIO_PACKS",
     "available_packs",
     "cache_size_pack",
     "depth_sweep_pack",
+    "design_space_pack",
     "engine_count_pack",
     "get_pack",
     "hbm_generation_pack",

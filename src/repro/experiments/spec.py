@@ -8,9 +8,9 @@ validation, identity (``scenario_id``), and ``to_dict``/``from_dict`` exist
 exactly once in :mod:`repro.core.runspec`.
 
 A :class:`SweepSpec` declares axes (datasets x accelerators x variants x
-seeds x depths x config overrides) and expands them into the cartesian grid
-of run specs, validating every axis value up front so a sweep fails before
-the first simulation rather than hours in.
+seeds x depths x config overrides x design overrides) and expands them into
+the cartesian grid of run specs, validating every axis value up front so a
+sweep fails before the first simulation rather than hours in.
 """
 
 from __future__ import annotations
@@ -53,6 +53,11 @@ class SweepSpec:
             point; ``[{}]`` means a single point at Table III defaults.
         override_tags: Optional display tag per override grid point (same
             length as ``override_grid``).
+        design_grid: One :class:`~repro.accelerator.design.DesignPoint` knob
+            override mapping per grid point; ``[{}]`` means a single point
+            running each accelerator's design as registered.
+        design_tags: Optional display tag per design grid point (same length
+            as ``design_grid``).
         max_vertices: Scale cap shared by every scenario.
         max_sampled_layers: Layer-sampling budget shared by every scenario.
         description: One-line description shown by ``repro list``.
@@ -68,6 +73,10 @@ class SweepSpec:
         field(default_factory=lambda: [{}])
     )
     override_tags: Sequence[str] = ()
+    design_grid: Sequence[Mapping[str, object]] = (
+        field(default_factory=lambda: [{}])
+    )
+    design_tags: Sequence[str] = ()
     max_vertices: int = 2048
     max_sampled_layers: int = 6
     description: str = ""
@@ -78,17 +87,21 @@ class SweepSpec:
         for axis_name in ("datasets", "accelerators", "variants", "seeds", "depths"):
             if not list(getattr(self, axis_name)):
                 raise ConfigurationError(f"sweep axis {axis_name!r} must not be empty")
-        grid = [dict(point) for point in self.override_grid]
-        if not grid:
-            raise ConfigurationError("override_grid must not be empty (use [{}])")
-        object.__setattr__(self, "override_grid", grid)
-        tags = list(self.override_tags)
-        if tags and len(tags) != len(grid):
-            raise ConfigurationError(
-                "override_tags must match override_grid in length "
-                f"(got {len(tags)} tags for {len(grid)} grid points)"
-            )
-        object.__setattr__(self, "override_tags", tags)
+        for grid_name in ("override_grid", "design_grid"):
+            grid = [dict(point) for point in getattr(self, grid_name)]
+            if not grid:
+                raise ConfigurationError(
+                    f"{grid_name} must not be empty (use [{{}}])"
+                )
+            object.__setattr__(self, grid_name, grid)
+            tags_name = grid_name.replace("_grid", "_tags")
+            tags = list(getattr(self, tags_name))
+            if tags and len(tags) != len(grid):
+                raise ConfigurationError(
+                    f"{tags_name} must match {grid_name} in length "
+                    f"(got {len(tags)} tags for {len(grid)} grid points)"
+                )
+            object.__setattr__(self, tags_name, tags)
 
     # ------------------------------------------------------------------ #
     @property
@@ -101,6 +114,7 @@ class SweepSpec:
             * len(list(self.seeds))
             * len(list(self.depths))
             * len(list(self.override_grid))
+            * len(list(self.design_grid))
         )
 
     def expand(self, validate: bool = True) -> List[Scenario]:
@@ -111,28 +125,37 @@ class SweepSpec:
                 accelerators, variants, config legality) before returning.
 
         Returns:
-            The specs in deterministic axis order (overrides outermost,
-            then dataset, accelerator, variant, seed, depth).
+            The specs in deterministic axis order (design overrides
+            outermost, then config overrides, dataset, accelerator, variant,
+            seed, depth).
         """
         scenarios: List[Scenario] = []
-        for grid_index, overrides in enumerate(self.override_grid):
-            tag = self.override_tags[grid_index] if self.override_tags else ""
-            for dataset, accelerator, variant, seed, depth in itertools.product(
-                self.datasets, self.accelerators, self.variants, self.seeds, self.depths
-            ):
-                scenarios.append(
-                    Scenario(
-                        dataset=dataset,
-                        accelerator=accelerator,
-                        variant=variant,
-                        seed=seed,
-                        max_vertices=self.max_vertices,
-                        max_sampled_layers=self.max_sampled_layers,
-                        num_layers=depth,
-                        overrides=overrides,
-                        tag=tag,
+        for design_index, design in enumerate(self.design_grid):
+            design_tag = self.design_tags[design_index] if self.design_tags else ""
+            for grid_index, overrides in enumerate(self.override_grid):
+                tag = self.override_tags[grid_index] if self.override_tags else ""
+                combined_tag = "/".join(part for part in (tag, design_tag) if part)
+                for dataset, accelerator, variant, seed, depth in itertools.product(
+                    self.datasets,
+                    self.accelerators,
+                    self.variants,
+                    self.seeds,
+                    self.depths,
+                ):
+                    scenarios.append(
+                        Scenario(
+                            dataset=dataset,
+                            accelerator=accelerator,
+                            variant=variant,
+                            seed=seed,
+                            max_vertices=self.max_vertices,
+                            max_sampled_layers=self.max_sampled_layers,
+                            num_layers=depth,
+                            overrides=overrides,
+                            design=design or None,
+                            tag=combined_tag,
+                        )
                     )
-                )
         if validate:
             for scenario in scenarios:
                 scenario.validate()
@@ -156,6 +179,8 @@ class SweepSpec:
             "depths": [int(depth) for depth in self.depths],
             "override_grid": [dict(point) for point in self.override_grid],
             "override_tags": list(self.override_tags),
+            "design_grid": [dict(point) for point in self.design_grid],
+            "design_tags": list(self.design_tags),
             "max_vertices": int(self.max_vertices),
             "max_sampled_layers": int(self.max_sampled_layers),
             "description": self.description,
@@ -173,6 +198,8 @@ class SweepSpec:
             depths=[int(depth) for depth in data.get("depths", [DEFAULT_NUM_LAYERS])],
             override_grid=[dict(point) for point in data.get("override_grid", [{}])],
             override_tags=list(data.get("override_tags", [])),
+            design_grid=[dict(point) for point in data.get("design_grid", [{}])],
+            design_tags=list(data.get("design_tags", [])),
             max_vertices=int(data.get("max_vertices", 2048)),
             max_sampled_layers=int(data.get("max_sampled_layers", 6)),
             description=str(data.get("description", "")),

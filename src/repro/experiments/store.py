@@ -73,6 +73,7 @@ def summary_row(scenario: Scenario, result: SimulationResult) -> Dict[str, objec
         "num_layers": scenario.num_layers,
         "max_vertices": scenario.max_vertices,
         "overrides": json.dumps(dict(sorted(scenario.overrides.items())), sort_keys=True),
+        "design": json.dumps(dict(scenario.design or {}), sort_keys=True),
     }
     summary = result.summary()
     for column in ("cycles", "runtime_s", "dram_bytes", "macs", "energy_j",

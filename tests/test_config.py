@@ -1,0 +1,81 @@
+"""Edge paths of the core config dataclasses (`repro.core.config`).
+
+Covers the previously-untested corners: ``CacheConfig.scaled`` rounding and
+clamping, and ``DRAMConfig``'s efficiency-ordering validation.
+"""
+
+import pytest
+
+from repro.core.config import CacheConfig, DRAMConfig
+from repro.errors import ConfigurationError
+
+
+# --------------------------------------------------------------------------- #
+# CacheConfig.scaled
+# --------------------------------------------------------------------------- #
+def test_scaled_rounds_to_way_times_line_units():
+    cache = CacheConfig(capacity_bytes=512 * 1024, ways=16, line_bytes=64)
+    unit = cache.ways * cache.line_bytes  # 1024 B
+    scaled = cache.scaled(0.3)
+    assert scaled.capacity_bytes % unit == 0
+    # 512 KiB * 0.3 = 157286.4 B -> nearest legal multiple of 1024 is 154 units.
+    assert scaled.capacity_bytes == round(512 * 1024 * 0.3 / unit) * unit
+    # The other fields are preserved, so the scaled config stays valid.
+    assert scaled.ways == cache.ways
+    assert scaled.line_bytes == cache.line_bytes
+    assert scaled.num_sets == scaled.capacity_bytes // unit
+
+
+def test_scaled_rounds_half_way_points_consistently():
+    cache = CacheConfig(capacity_bytes=4096, ways=4, line_bytes=64)  # unit 256
+    # 4096 * 0.15625 = 640 = 2.5 units: Python banker's rounding -> 2 units.
+    assert cache.scaled(0.15625).capacity_bytes == 512
+
+
+def test_scaled_clamps_at_one_line_per_way():
+    cache = CacheConfig(capacity_bytes=512 * 1024, ways=16, line_bytes=64)
+    unit = cache.ways * cache.line_bytes
+    tiny = cache.scaled(1e-9)
+    assert tiny.capacity_bytes == unit  # one line per way, never zero
+    assert tiny.num_sets == 1
+    assert tiny.num_lines == cache.ways
+
+
+def test_scaled_factor_above_one_grows_capacity():
+    cache = CacheConfig(capacity_bytes=256 * 1024, ways=16, line_bytes=64)
+    grown = cache.scaled(4.0)
+    assert grown.capacity_bytes == 1024 * 1024
+    assert grown.num_lines == 4 * cache.num_lines
+
+
+def test_scaled_identity_factor_is_lossless():
+    cache = CacheConfig()
+    assert cache.scaled(1.0).capacity_bytes == cache.capacity_bytes
+
+
+# --------------------------------------------------------------------------- #
+# DRAMConfig efficiency ordering
+# --------------------------------------------------------------------------- #
+def test_dram_accepts_legal_efficiency_ordering():
+    config = DRAMConfig(base_efficiency=0.9, random_efficiency=0.4)
+    assert config.random_efficiency < config.base_efficiency <= 1.0
+
+
+def test_dram_boundary_equalities_are_legal():
+    # random == base and base == 1.0 are inside the documented bounds.
+    config = DRAMConfig(base_efficiency=1.0, random_efficiency=1.0)
+    assert config.base_efficiency == config.random_efficiency == 1.0
+
+
+@pytest.mark.parametrize(
+    "base,random_",
+    [
+        (0.5, 0.8),   # random > base
+        (0.8, 0.0),   # random must be strictly positive
+        (0.8, -0.1),
+        (1.2, 0.5),   # base above 1
+    ],
+)
+def test_dram_rejects_illegal_efficiency_orderings(base, random_):
+    with pytest.raises(ConfigurationError, match="efficiencies"):
+        DRAMConfig(base_efficiency=base, random_efficiency=random_)

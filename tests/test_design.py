@@ -1,0 +1,465 @@
+"""DesignPoint: validation, identity, registry, and the RunSpec design axis."""
+
+import json
+
+import pytest
+
+from repro.accelerator.design import (
+    BUILTIN_DESIGNS,
+    DESIGN_KNOBS,
+    DesignPoint,
+    SGCN_DESIGN,
+    field_names,
+)
+from repro.accelerator.registry import (
+    ACCELERATORS,
+    DESIGN_POINTS,
+    get_accelerator,
+    get_design,
+    register_design,
+    unregister_accelerator,
+)
+from repro.accelerator.simulator import AcceleratorModel
+from repro.core.runspec import RunSpec
+from repro.core.session import Session
+from repro.errors import ConfigurationError, FormatError
+
+TINY = dict(max_vertices=64, num_layers=4)
+
+
+# --------------------------------------------------------------------------- #
+# Validation (satellite: knobs checked at construction)
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "knobs",
+    [
+        {"tiling_fill_fraction": 0.0},
+        {"tiling_fill_fraction": -1.0},
+        {"tiling_fill_fraction": float("nan")},
+        {"tiling_fill_fraction": 100.0},
+        {"psum_buffer_fraction": 0.0},
+        {"psum_buffer_fraction": 1.5},
+        {"pinned_cache_fraction": -0.25},
+        {"pinned_cache_fraction": 2.0},
+        {"aggregation_compute_scale": 0.0},
+        {"aggregation_compute_scale": 1.2},
+        {"engine_partition": "diagonal"},
+        {"execution_order": "sideways"},
+        {"assumed_tiling_sparsity": 1.0},
+        {"assumed_tiling_sparsity": -0.1},
+        {"psum_traffic_factor": -1.0},
+        {"dataflow_feature_passes": 0},
+        {"slice_size": 0},
+    ],
+)
+def test_bad_knob_values_raise_at_construction(knobs):
+    with pytest.raises(ConfigurationError):
+        DesignPoint(name="bad", **knobs)
+
+
+def test_empty_name_rejected():
+    with pytest.raises(ConfigurationError, match="name"):
+        DesignPoint(name="  ")
+
+
+def test_unknown_format_raises_format_error():
+    with pytest.raises(FormatError):
+        DesignPoint(name="x", feature_format="nope")
+
+
+def test_engn_style_deliberate_overflow_is_legal():
+    # Coarse vertex tiling overflows the cache on purpose (EnGN uses 3.0);
+    # only nonsense values beyond the documented bound are rejected.
+    assert DesignPoint(name="coarse", tiling_fill_fraction=3.0).tiling_fill_fraction == 3.0
+
+
+def test_derive_validates_and_rejects_unknown_knobs():
+    base = BUILTIN_DESIGNS["gcnax"]
+    derived = base.derive(tiling_fill_fraction=0.5, sparse_aggregation_compute=True)
+    assert derived.tiling_fill_fraction == 0.5
+    assert derived.name == base.name
+    with pytest.raises(ConfigurationError, match="unknown design knob"):
+        base.derive(warp_speed=9)
+    with pytest.raises(ConfigurationError):
+        base.derive(psum_buffer_fraction=0.0)
+
+
+# --------------------------------------------------------------------------- #
+# Identity / round-trips
+# --------------------------------------------------------------------------- #
+def test_every_registered_design_round_trips():
+    assert len(DESIGN_POINTS) >= 9
+    for name, design in DESIGN_POINTS.items():
+        rebuilt = DesignPoint.from_dict(design.to_dict())
+        assert rebuilt == design, name
+        assert hash(rebuilt) == hash(design), name
+        # to_dict() must be JSON-serialisable as-is.
+        json.dumps(design.to_dict())
+
+
+def test_from_dict_rejects_unknown_fields():
+    data = BUILTIN_DESIGNS["gcnax"].to_dict()
+    data["mystery"] = True
+    with pytest.raises(ConfigurationError, match="unknown design point field"):
+        DesignPoint.from_dict(data)
+
+
+def test_with_format_copies_equal_identically_configured_points():
+    # Satellite: a with_format copy must compare/hash equal to an
+    # identically-configured point — including explicit spellings of the
+    # format's defaults.
+    assert SGCN_DESIGN.with_format("beicsr") == SGCN_DESIGN
+    assert SGCN_DESIGN.with_format("beicsr", slice_size=96) == SGCN_DESIGN
+    assert hash(SGCN_DESIGN.with_format("beicsr", slice_size=96)) == hash(SGCN_DESIGN)
+    custom = SGCN_DESIGN.with_format("beicsr", slice_size=128)
+    assert custom != SGCN_DESIGN
+    assert custom == SGCN_DESIGN.derive(slice_size=128)
+    # Formats without a slice knob normalise the slice away entirely.
+    dense_a = SGCN_DESIGN.with_format("dense")
+    dense_b = SGCN_DESIGN.derive(feature_format="dense", slice_size=None)
+    assert dense_a == dense_b
+    assert dense_a.slice_size is None
+
+
+def test_builtin_shim_classes_lift_to_the_registered_designs():
+    # The deprecated subclasses and the registered design points must be the
+    # same design — attribute drift between them would silently fork the
+    # accelerator definitions.
+    from repro.accelerator import baselines, sgcn
+
+    shims = {
+        "gcnax": baselines.GCNAXAccelerator,
+        "hygcn": baselines.HyGCNAccelerator,
+        "awb_gcn": baselines.AWBGCNAccelerator,
+        "engn": baselines.EnGNAccelerator,
+        "igcn": baselines.IGCNAccelerator,
+        "sgcn": sgcn.SGCNAccelerator,
+        "sgcn_no_sac": sgcn.SGCNNoSACAccelerator,
+        "sgcn_nonsliced": sgcn.SGCNNonSlicedAccelerator,
+        "sgcn_packed": sgcn.SGCNPackedAccelerator,
+    }
+    assert set(shims) == set(BUILTIN_DESIGNS)
+    for name, cls in shims.items():
+        assert cls().design == BUILTIN_DESIGNS[name], name
+
+
+def test_shim_and_design_models_simulate_identically():
+    from repro.accelerator.sgcn import SGCNAccelerator
+    from repro.graphs.datasets import load_dataset
+
+    dataset = load_dataset("cora", max_vertices=96, num_layers=4)
+    via_shim = SGCNAccelerator().simulate(dataset)
+    via_design = AcceleratorModel(BUILTIN_DESIGNS["sgcn"]).simulate(dataset)
+    assert json.dumps(via_shim.to_dict(), sort_keys=True) == json.dumps(
+        via_design.to_dict(), sort_keys=True
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+def test_register_design_directly():
+    point = BUILTIN_DESIGNS["gcnax"].derive(tiling_fill_fraction=0.5)
+    point = DesignPoint.from_dict({**point.to_dict(), "name": "halftile"})
+    register_design(point, aliases=("half-tile",))
+    try:
+        assert get_design("halftile") == point
+        assert get_design("half-tile") == point
+        model = get_accelerator("halftile")
+        assert model.design == point
+        assert model.name == "halftile"
+    finally:
+        unregister_accelerator("halftile")
+    assert "halftile" not in ACCELERATORS
+    assert "halftile" not in DESIGN_POINTS
+
+
+def test_register_design_rejects_duplicates():
+    with pytest.raises(ConfigurationError, match="already registered"):
+        register_design(BUILTIN_DESIGNS["sgcn"])
+
+
+def test_get_design_raises_for_unknown_names():
+    with pytest.raises(ConfigurationError, match="unknown accelerator"):
+        get_design("not-a-design")
+
+
+# --------------------------------------------------------------------------- #
+# Session integration (memoization by design identity)
+# --------------------------------------------------------------------------- #
+def test_session_dedupes_native_format_spelled_explicitly():
+    session = Session()
+    plain = session.accelerator("sgcn")
+    explicit = session.accelerator("sgcn", feature_format="beicsr")
+    assert explicit is plain  # equal design point -> same model instance
+
+
+def test_session_design_overrides_build_distinct_models():
+    session = Session()
+    base = session.accelerator("gcnax")
+    half = session.accelerator("gcnax", design={"tiling_fill_fraction": 0.5})
+    assert half is not base
+    assert half.design.tiling_fill_fraction == 0.5
+    assert session.accelerator("gcnax", design={"tiling_fill_fraction": 0.5}) is half
+    # A design override that spells out the registered value resolves to the
+    # same point, hence the same model.
+    same = session.accelerator("gcnax", design={"tiling_fill_fraction": 0.95})
+    assert same is base
+
+
+def test_session_run_threads_design_axis():
+    session = Session()
+    native = session.run(RunSpec(dataset="cora", accelerator="gcnax", **TINY))
+    overridden = session.run(
+        RunSpec(
+            dataset="cora",
+            accelerator="gcnax",
+            design={"feature_format": "beicsr", "sparse_aggregation_compute": True},
+            **TINY,
+        )
+    )
+    assert overridden.dram_traffic_bytes != native.dram_traffic_bytes
+
+
+def test_session_rejects_design_with_preresolved_accelerator():
+    session = Session()
+    spec = RunSpec(
+        dataset="cora",
+        accelerator="gcnax",
+        design={"tiling_fill_fraction": 0.5},
+        **TINY,
+    )
+    with pytest.raises(ConfigurationError, match="design overrides"):
+        session.run(spec, accelerator=session.accelerator("gcnax"))
+
+
+# --------------------------------------------------------------------------- #
+# RunSpec design axis
+# --------------------------------------------------------------------------- #
+def test_design_axis_enters_identity_only_when_set():
+    plain = RunSpec(dataset="cora", accelerator="sgcn")
+    empty = RunSpec(dataset="cora", accelerator="sgcn", design={})
+    assert empty.design is None
+    assert empty.scenario_id == plain.scenario_id
+    assert "design" not in plain.key()
+    overridden = RunSpec(
+        dataset="cora", accelerator="sgcn", design={"tiling_fill_fraction": 0.5}
+    )
+    assert overridden.scenario_id != plain.scenario_id
+    assert overridden.key()["design"] == {"tiling_fill_fraction": 0.5}
+    assert "tiling_fill_fraction=0.5" in overridden.label()
+
+
+def test_design_axis_round_trips_and_validates():
+    spec = RunSpec(
+        dataset="cora",
+        accelerator="gcnax",
+        design={"feature_format": "beicsr", "tiling_fill_fraction": 0.5},
+    )
+    spec.validate()
+    assert RunSpec.from_dict(spec.to_dict()) == spec
+    with pytest.raises(ConfigurationError, match="unknown design knob"):
+        RunSpec(
+            dataset="cora", accelerator="gcnax", design={"bogus": 1}
+        ).validate()
+    with pytest.raises(ConfigurationError):
+        RunSpec(
+            dataset="cora",
+            accelerator="gcnax",
+            design={"psum_buffer_fraction": 0.0},
+        ).validate()
+
+
+def test_design_knobs_cover_simulation_fields_only():
+    assert set(DESIGN_KNOBS) <= set(field_names())
+    for excluded in ("name", "display_name", "execution_order", "target_layers"):
+        assert excluded not in DESIGN_KNOBS
+
+
+# --------------------------------------------------------------------------- #
+# Review regressions
+# --------------------------------------------------------------------------- #
+def test_boolean_knobs_reject_truthy_strings():
+    # "False" is truthy: accepting it would silently invert the design while
+    # the run identity claims the opposite.
+    with pytest.raises(ConfigurationError, match="boolean"):
+        DesignPoint(name="x", uses_destination_tiling="False")
+    with pytest.raises(ConfigurationError, match="boolean"):
+        BUILTIN_DESIGNS["gcnax"].derive(column_product="True")
+
+
+def test_wrapped_models_mirror_every_knob_attribute():
+    # A model wrapping an arbitrary design point must report that design's
+    # values through the legacy class-attribute API, not base-class defaults.
+    model = AcceleratorModel(BUILTIN_DESIGNS["awb_gcn"])
+    assert model.psum_traffic_factor == 1.0
+    assert model.combination_zero_skipping is True
+    assert model.sparse_first_layer is True
+    engn = AcceleratorModel(BUILTIN_DESIGNS["engn"])
+    assert engn.tiling_fill_fraction == 3.0
+    assert engn.pins_high_degree_vertices is True
+    sgcn = AcceleratorModel(BUILTIN_DESIGNS["sgcn"])
+    assert sgcn.engine_partition == "sac"
+    assert sgcn.feature_format_name == "beicsr"
+
+
+def test_get_design_detects_temporary_shadowing():
+    from repro.accelerator.registry import temporary_accelerator
+
+    original = get_design("gcnax")
+    assert original == BUILTIN_DESIGNS["gcnax"]
+    with temporary_accelerator(
+        "gcnax", lambda: AcceleratorModel(BUILTIN_DESIGNS["hygcn"])
+    ):
+        # The recorded point no longer describes what the registry builds.
+        assert get_design("gcnax") is None
+        spec = RunSpec(
+            dataset="cora", accelerator="gcnax",
+            design={"tiling_fill_fraction": 0.5},
+        )
+        spec.validate()  # falls back to the live instance's design
+    assert get_design("gcnax") == original
+
+
+def test_session_rejects_non_knob_design_keys():
+    session = Session()
+    with pytest.raises(ConfigurationError, match="unknown design knob"):
+        session.accelerator("gcnax", design={"name": "not-gcnax"})
+    # The pre-resolved-dataset path must not bypass the check either.
+    from repro.graphs.datasets import load_dataset
+
+    dataset = load_dataset("cora", max_vertices=64, num_layers=4)
+    spec = RunSpec(dataset="cora", accelerator="gcnax", **TINY)
+    spec = RunSpec.from_dict({**spec.to_dict(), "design": {"name": "evil"}})
+    with pytest.raises(ConfigurationError, match="unknown design knob"):
+        session.run(spec, dataset=dataset)
+
+
+def test_design_axis_canonicalises_values_and_drops_noops():
+    # Spelling variants of the same configuration share one identity…
+    upper = RunSpec(dataset="cora", accelerator="gcnax",
+                    design={"feature_format": "BEICSR"})
+    lower = RunSpec(dataset="cora", accelerator="gcnax",
+                    design={"feature_format": "beicsr"})
+    assert upper.scenario_id == lower.scenario_id
+    assert upper.design == {"feature_format": "beicsr"}
+    # …and overrides equal to the registered design vanish entirely.
+    noop = RunSpec(dataset="cora", accelerator="gcnax",
+                   design={"column_product": False})
+    assert noop.design is None
+    assert noop.scenario_id == RunSpec(dataset="cora", accelerator="gcnax").scenario_id
+    explicit_default = RunSpec(dataset="cora", accelerator="sgcn",
+                               design={"slice_size": 96, "engine_partition": "sac"})
+    assert explicit_default.design is None
+
+
+def test_legacy_attribute_mutation_still_reaches_simulate():
+    from repro.accelerator.baselines import GCNAXAccelerator
+    from repro.graphs.datasets import load_dataset
+
+    dataset = load_dataset("pubmed", max_vertices=128, num_layers=4)
+    baseline = GCNAXAccelerator().simulate(dataset)
+    mutated = GCNAXAccelerator()
+    mutated.tiling_fill_fraction = 0.2
+    result = mutated.simulate(dataset)
+    assert result.dram_traffic_bytes != baseline.dram_traffic_bytes
+    # The mutation is equivalent to deriving the design point explicitly.
+    derived = AcceleratorModel(
+        BUILTIN_DESIGNS["gcnax"].derive(tiling_fill_fraction=0.2)
+    ).simulate(dataset)
+    assert json.dumps(result.to_dict(), sort_keys=True) == json.dumps(
+        derived.to_dict(), sort_keys=True
+    )
+
+
+def test_explicit_format_default_shares_identity():
+    with_default = RunSpec(dataset="cora", accelerator="gcnax",
+                           design={"feature_format": "beicsr", "slice_size": 96})
+    without = RunSpec(dataset="cora", accelerator="gcnax",
+                      design={"feature_format": "beicsr"})
+    assert with_default.scenario_id == without.scenario_id
+    assert with_default.design == {"feature_format": "beicsr"}
+
+
+def test_ineffective_slice_size_override_errors():
+    with pytest.raises(ConfigurationError, match="no slice knob"):
+        RunSpec(dataset="cora", accelerator="gcnax", design={"slice_size": 128})
+    with pytest.raises(ConfigurationError, match="no slice knob"):
+        RunSpec(dataset="cora", accelerator="sgcn",
+                design={"feature_format": "beicsr_nonsliced", "slice_size": 128})
+
+
+def test_format_axis_and_design_format_knobs_conflict():
+    # Rejected at construction (deriving format knobs against the base
+    # design while the axis would replace the format is never meaningful)…
+    with pytest.raises(ConfigurationError, match="one mechanism only"):
+        RunSpec(dataset="cora", accelerator="sgcn",
+                feature_format="dense",
+                design={"feature_format": "beicsr", "slice_size": 128})
+    with pytest.raises(ConfigurationError, match="one mechanism only"):
+        RunSpec(dataset="cora", accelerator="gcnax",
+                feature_format="beicsr", design={"slice_size": 128})
+    # …and independently by Session.accelerator for direct calls.
+    session = Session()
+    with pytest.raises(ConfigurationError, match="one mechanism only"):
+        session.accelerator("sgcn", feature_format="dense",
+                            design={"feature_format": "beicsr"})
+
+
+def test_numeric_knob_spellings_share_identity_and_hash():
+    as_int = RunSpec(dataset="cora", accelerator="gcnax",
+                     design={"tiling_fill_fraction": 1})
+    as_float = RunSpec(dataset="cora", accelerator="gcnax",
+                       design={"tiling_fill_fraction": 1.0})
+    assert as_int == as_float
+    assert hash(as_int) == hash(as_float)
+    assert as_int.scenario_id == as_float.scenario_id
+    assert BUILTIN_DESIGNS["gcnax"].derive(tiling_fill_fraction=1) == (
+        BUILTIN_DESIGNS["gcnax"].derive(tiling_fill_fraction=1.0)
+    )
+
+
+def test_use_format_preserves_legacy_attribute_mutations():
+    from repro.accelerator.baselines import GCNAXAccelerator
+    from repro.graphs.datasets import load_dataset
+
+    model = GCNAXAccelerator()
+    model.tiling_fill_fraction = 0.5
+    copy = model.use_format("beicsr")
+    assert copy.design.tiling_fill_fraction == 0.5
+    dataset = load_dataset("cora", max_vertices=96, num_layers=4)
+    expected = AcceleratorModel(
+        BUILTIN_DESIGNS["gcnax"].derive(
+            tiling_fill_fraction=0.5, feature_format="beicsr"
+        )
+    ).simulate(dataset)
+    assert json.dumps(copy.simulate(dataset).to_dict(), sort_keys=True) == (
+        json.dumps(expected.to_dict(), sort_keys=True)
+    )
+
+
+def test_registry_models_expose_slice_size():
+    assert get_accelerator("sgcn").slice_size == 96
+    assert get_accelerator("gcnax").slice_size is None
+    assert AcceleratorModel(SGCN_DESIGN.derive(slice_size=128)).slice_size == 128
+
+
+def test_overridden_build_context_hook_is_still_honored():
+    from repro.accelerator.sgcn import SGCNAccelerator
+    from repro.graphs.datasets import load_dataset
+
+    calls = []
+
+    class Hooked(SGCNAccelerator):
+        def _build_context(self, dataset, config, workloads, trace_cache=None):
+            context = super()._build_context(dataset, config, workloads, trace_cache)
+            calls.append(context.cache_lines)
+            # Legacy-style customisation: halve the cache capacity.
+            context.cache_lines = max(1, context.cache_lines // 2)
+            return context
+
+    dataset = load_dataset("pubmed", max_vertices=128, num_layers=4)
+    hooked = Hooked().simulate(dataset)
+    plain = SGCNAccelerator().simulate(dataset)
+    assert calls  # the hook ran
+    assert hooked.metadata["cache_lines"] == plain.metadata["cache_lines"] // 2

@@ -1,0 +1,155 @@
+"""The design-space exploration pack, end to end through the sweep stack."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.accelerator.registry import DESIGN_POINTS, get_design
+from repro.experiments.cli import main
+from repro.experiments.runner import SweepRunner
+from repro.experiments.scenarios import available_packs, get_pack
+from repro.experiments.store import ResultStore
+
+
+def test_pack_shape_and_quick_variant():
+    pack = get_pack("design-space")
+    assert pack.num_scenarios == 72  # 24 design points x 3 medium datasets
+    assert len(pack.design_grid) == 24
+    assert len(pack.design_tags) == 24
+    quick = get_pack("design-space", quick=True)
+    assert quick.num_scenarios == 8
+    assert quick.max_vertices <= 128
+    assert "design-space" in available_packs()
+
+
+def test_grid_points_are_distinct_and_non_builtin():
+    pack = get_pack("design-space")
+    base = get_design("gcnax")
+    derived = {base.derive(**point) for point in pack.design_grid}
+    assert len(derived) == len(pack.design_grid)
+    assert derived.isdisjoint(set(DESIGN_POINTS.values()))
+
+
+def test_scenarios_validate_and_carry_design_identity():
+    specs = get_pack("design-space").expand()  # expand() validates
+    assert len({spec.scenario_id for spec in specs}) == len(specs)
+    for spec in specs:
+        assert spec.design  # every grid point overrides at least the fill
+        assert spec.tag  # tags identify the grid axes in exports
+
+
+def test_pack_runs_end_to_end_through_sweep_runner(tmp_path):
+    # The full 24-point grid on one dataset at a tiny scale: every design
+    # point must simulate, round-trip the result store, and stay distinct.
+    pack = get_pack("design-space", max_vertices=64)
+    specs = [spec for spec in pack.expand() if spec.dataset == "pubmed"]
+    assert len(specs) == 24
+    store = ResultStore(tmp_path / "cache")
+    runner = SweepRunner(store=store, workers=1)
+    report = runner.run(specs)
+    assert report.num_failed == 0
+    assert report.num_simulated == 24
+    cycles = {
+        outcome.scenario.scenario_id: outcome.result.total_cycles
+        for outcome in report.successes()
+    }
+    assert len(cycles) == 24
+    # Re-running is answered entirely from the content-addressed cache.
+    rerun = runner.run(specs)
+    assert rerun.num_cached == 24 and rerun.num_failed == 0
+
+
+def test_cli_quick_sweep_dry_run(capsys):
+    assert main(["sweep", "design-space", "--quick", "--dry-run"]) == 0
+    out = capsys.readouterr().out
+    assert "design-space: 8 scenarios" in out
+
+
+def test_cli_run_routes_design_knobs(capsys):
+    assert (
+        main(
+            [
+                "run", "--dataset", "cora", "--accelerator", "gcnax",
+                "--max-vertices", "64", "--layers", "4",
+                "--set", "tiling_fill_fraction=0.5",
+                "--set", "num_engines=4",
+            ]
+        )
+        == 0
+    )
+    summary = json.loads(capsys.readouterr().out)
+    assert json.loads(summary["overrides"]) == {"num_engines": 4}
+    assert json.loads(summary["design"]) == {"tiling_fill_fraction": 0.5}
+
+
+def test_cli_rejects_unknown_set_key(capsys):
+    assert (
+        main(
+            [
+                "run", "--dataset", "cora", "--accelerator", "gcnax",
+                "--set", "warp_drive=1",
+            ]
+        )
+        == 2
+    )
+    assert "unknown --set key" in capsys.readouterr().err
+
+
+def test_cli_accelerators_describe(capsys):
+    assert main(["accelerators", "--describe"]) == 0
+    out = capsys.readouterr().out
+    for name in ("gcnax", "sgcn", "engn"):
+        assert f"{name}:" in out
+    assert "tiling_fill_fraction" in out
+    assert "execution_order" in out
+
+
+def test_factories_apply_quick_cap_when_called_directly():
+    from repro.experiments.scenarios import (
+        QUICK_MAX_VERTICES,
+        design_space_pack,
+        paper_comparison_pack,
+    )
+
+    assert design_space_pack(quick=True).max_vertices <= QUICK_MAX_VERTICES
+    assert paper_comparison_pack(quick=True).max_vertices <= QUICK_MAX_VERTICES
+    assert paper_comparison_pack(quick=False).max_vertices > QUICK_MAX_VERTICES
+
+
+def test_cli_parses_python_style_booleans(capsys):
+    assert (
+        main(
+            [
+                "run", "--dataset", "cora", "--accelerator", "gcnax",
+                "--max-vertices", "64", "--layers", "4",
+                "--set", "uses_destination_tiling=False",
+            ]
+        )
+        == 0
+    )
+    summary = json.loads(capsys.readouterr().out)
+    assert json.loads(summary["design"]) == {"uses_destination_tiling": False}
+
+
+def test_cli_set_feature_format_matches_the_flag_spelling(capsys):
+    args = ["run", "--dataset", "cora", "--accelerator", "gcnax",
+            "--max-vertices", "64", "--layers", "4"]
+    assert main(args + ["--set", "feature_format=beicsr"]) == 0
+    via_set = json.loads(capsys.readouterr().out)
+    assert main(args + ["--feature-format", "beicsr"]) == 0
+    via_flag = json.loads(capsys.readouterr().out)
+    assert via_set["scenario_id"] == via_flag["scenario_id"]
+    assert json.loads(via_set["design"]) == {}
+
+
+def test_cli_conflicting_format_spellings_error(capsys):
+    assert (
+        main(
+            ["run", "--dataset", "cora", "--accelerator", "gcnax",
+             "--feature-format", "csr", "--set", "feature_format=beicsr"]
+        )
+        == 2
+    )
+    assert "conflicts" in capsys.readouterr().err
