@@ -55,6 +55,13 @@ from repro.accelerator.registry import get_design, register_design
 from repro.accelerator.simulator import get_replay_backend, set_replay_backend
 from repro.core.runspec import RunSpec, SUPPORTED_OVERRIDES, build_config
 from repro.core.session import Session, default_session, reset_default_session
+from repro.gcn.providers import (
+    SPARSITY_MODES,
+    MeasuredSparsityProvider,
+    SparsityProvider,
+    SyntheticSparsityProvider,
+    make_sparsity_provider,
+)
 from repro.memory.replay import ReplayEngine, TraceCache, replay_trace
 from repro.core.api import simulate, compare_accelerators, available_accelerators
 from repro.core.results import LayerResult, SimulationResult, ComparisonResult
@@ -100,6 +107,11 @@ __all__ = [
     "Session",
     "default_session",
     "reset_default_session",
+    "SPARSITY_MODES",
+    "SparsityProvider",
+    "SyntheticSparsityProvider",
+    "MeasuredSparsityProvider",
+    "make_sparsity_provider",
     "Registry",
     "ReplayEngine",
     "TraceCache",

@@ -47,7 +47,7 @@ from repro.core.config import CACHELINE_BYTES, ELEMENT_BYTES, SystemConfig
 from repro.core.results import LayerResult, SimulationResult, TrafficBreakdown
 from repro.errors import SimulationError
 from repro.formats.base import FeatureFormat, bytes_to_lines
-from repro.gcn.sparsity import row_nonzero_distribution
+from repro.gcn.providers import SparsityProvider, SyntheticSparsityProvider
 from repro.graphs.datasets import Dataset
 from repro.graphs.graph import CSRGraph
 from repro.memory.dram import DRAMModel, TrafficPattern
@@ -205,6 +205,9 @@ class RunContext:
     energy_table: EnergyTable
     #: Cross-run memo (owned by the Session) for traces/engines/derived graphs.
     trace_cache: Optional[TraceCache] = None
+    #: Source of the per-layer/row/slice sparsity tables; the synthetic
+    #: provider (the historical behaviour, byte for byte) when ``None``.
+    sparsity: Optional[SparsityProvider] = None
     #: Filled by :func:`schedule`.
     tiling: Optional[TilingPlan] = None
     trace: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
@@ -285,6 +288,7 @@ def build_context(
     dataset: Dataset,
     config: SystemConfig,
     trace_cache: Optional[TraceCache] = None,
+    sparsity: Optional[SparsityProvider] = None,
 ) -> RunContext:
     """Stage 1: resolve the graph, the scaled cache, and the engine models."""
     # The legacy backend ignores the trace cache: the pre-vectorization
@@ -322,6 +326,7 @@ def build_context(
         dram=DRAMModel(config.dram),
         energy_table=EnergyTable(),
         trace_cache=trace_cache,
+        sparsity=sparsity,
     )
 
 
@@ -520,19 +525,30 @@ def _sample_layers(
     return [(workloads[index], weight) for index in indices]
 
 
+#: Provider used when a context carries none: the historical synthetic draw.
+_SYNTHETIC_PROVIDER = SyntheticSparsityProvider()
+
+
 def _layer_row_tables(
     fmt: FeatureFormat, workload: LayerWorkload, context: RunContext, seed: int
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Per-row non-zero counts for the layer's input features, and the
     resulting per-row transfer sizes (in lines) under ``fmt``."""
     num_vertices = context.graph.num_vertices
-    row_nnz = row_nonzero_distribution(
+    provider = context.sparsity or _SYNTHETIC_PROVIDER
+    row_nnz, slice_nnz = provider.layer_tables(
+        dataset=context.dataset,
+        layer_index=workload.layer_index,
         num_rows=num_vertices,
         width=workload.width_in,
         sparsity=workload.input_sparsity,
-        seed=seed + workload.layer_index,
+        slice_size=getattr(fmt, "slice_size", None),
+        seed=seed,
+        # Reordering/transposing designs relabel vertex ids; tables must be
+        # indexed by the graph the trace walks, not the dataset's original.
+        graph=context.graph,
     )
-    layout = fmt.build_layout(row_nnz, workload.width_in)
+    layout = fmt.build_layout(row_nnz, workload.width_in, slice_nnz=slice_nnz)
     if get_replay_backend() == "vectorized":
         row_lines = layout.row_read_line_counts()
     else:
@@ -1047,6 +1063,25 @@ def energy(context: RunContext, timed: Sequence[TimedLayer]) -> List[LayerResult
 # --------------------------------------------------------------------------- #
 # Orchestration
 # --------------------------------------------------------------------------- #
+def resolve_sparsity_dataset(
+    dataset: Dataset, sparsity: Optional[SparsityProvider]
+) -> Dataset:
+    """Apply a provider's measured layer profile to ``dataset``.
+
+    The synthetic provider (and ``None``) keeps the dataset untouched, so
+    default runs stay byte-identical; a measured provider returns a copy
+    whose :meth:`~repro.graphs.datasets.Dataset.layer_sparsities` is the
+    harvested profile, which every downstream consumer (workload
+    construction, output-write accounting) then picks up.
+    """
+    if sparsity is None:
+        return dataset
+    profile = sparsity.layer_profile(dataset)
+    if profile is None:
+        return dataset
+    return dataset.with_sparsity_profile(profile)
+
+
 def simulate_design(
     design: DesignPoint,
     dataset: Dataset,
@@ -1056,6 +1091,7 @@ def simulate_design(
     seed: int = 0,
     trace_cache: Optional[TraceCache] = None,
     feature_format: Optional[FeatureFormat] = None,
+    sparsity: Optional[SparsityProvider] = None,
 ) -> SimulationResult:
     """Run the full phase pipeline for one design on one dataset.
 
@@ -1076,14 +1112,22 @@ def simulate_design(
             cache here and a sweep builds each trace once.
         feature_format: Pre-built format instance (``design.format_instance()``
             when omitted; models pass their own so instances are shared).
+        sparsity: Optional :class:`~repro.gcn.providers.SparsityProvider`
+            replacing the synthetic per-layer profile and per-row draws with
+            its own tables (e.g. measured from a trained
+            :class:`~repro.gcn.model.DeepGCN`); ``None`` keeps the synthetic
+            behaviour byte for byte.
 
     Returns:
         A :class:`SimulationResult` covering every layer of the network.
     """
     config = config or SystemConfig()
     fmt = feature_format if feature_format is not None else design.format_instance()
+    dataset = resolve_sparsity_dataset(dataset, sparsity)
     workloads = build_workloads(dataset, variant=variant)
-    context = schedule(build_context(design, fmt, dataset, config, trace_cache))
+    context = schedule(
+        build_context(design, fmt, dataset, config, trace_cache, sparsity=sparsity)
+    )
     return complete_run(
         context,
         workloads,
@@ -1143,6 +1187,7 @@ __all__ = [
     "energy",
     "get_replay_backend",
     "replay",
+    "resolve_sparsity_dataset",
     "schedule",
     "set_replay_backend",
     "simulate_design",

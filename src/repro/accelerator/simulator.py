@@ -42,6 +42,7 @@ from repro.accelerator.pipeline import (  # noqa: F401  (compat re-exports)
     build_workloads,
     complete_run,
     get_replay_backend,
+    resolve_sparsity_dataset,
     schedule,
     set_replay_backend,
     simulate_design,
@@ -49,6 +50,7 @@ from repro.accelerator.pipeline import (  # noqa: F401  (compat re-exports)
 from repro.core.config import SystemConfig
 from repro.core.results import SimulationResult
 from repro.formats.base import FeatureFormat
+from repro.gcn.providers import SparsityProvider
 from repro.graphs.datasets import Dataset
 from repro.memory.replay import TraceCache
 
@@ -241,6 +243,7 @@ class AcceleratorModel:
         max_sampled_layers: int = 6,
         seed: int = 0,
         trace_cache: Optional[TraceCache] = None,
+        sparsity: Optional[SparsityProvider] = None,
     ) -> SimulationResult:
         """Simulate a full deep-GCN inference on ``dataset``.
 
@@ -263,10 +266,15 @@ class AcceleratorModel:
         if type(self)._build_context is not AcceleratorModel._build_context:
             # A legacy subclass overrides the old context-construction hook:
             # honor it (the pre-refactor simulate() always called it) and
-            # finish the run through the shared pipeline stages.
+            # finish the run through the shared pipeline stages.  The
+            # sparsity provider is attached after the hook returns (the
+            # historical signature cannot carry it).
             config = config or SystemConfig()
+            dataset = resolve_sparsity_dataset(dataset, sparsity)
             workloads = build_workloads(dataset, variant=variant)
             context = self._build_context(dataset, config, workloads, trace_cache)
+            if sparsity is not None:
+                context.sparsity = sparsity
             return complete_run(
                 context,
                 workloads,
@@ -283,6 +291,7 @@ class AcceleratorModel:
             seed=seed,
             trace_cache=trace_cache,
             feature_format=fmt,
+            sparsity=sparsity,
         )
 
     # ------------------------------------------------------------------ #

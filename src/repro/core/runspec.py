@@ -38,6 +38,7 @@ from repro.accelerator.simulator import GCN_VARIANTS
 from repro.core.config import HBM1, HBM2, DRAMConfig, SystemConfig
 from repro.errors import ConfigurationError
 from repro.formats.registry import FORMATS
+from repro.gcn.providers import fold_sparsity_mode, resolve_sparsity_mode
 from repro.graphs.datasets import DATASET_SPECS, DEFAULT_NUM_LAYERS
 
 #: Named DRAM generations accepted by the ``"dram"`` override.
@@ -162,6 +163,14 @@ class RunSpec:
             (or an empty mapping) runs the design as registered and — like
             ``feature_format`` — stays out of the run identity, so caches
             written before the axis existed keep hitting.
+        sparsity: Optional sparsity mode (see
+            :data:`~repro.gcn.providers.SPARSITY_MODES`): ``"synthetic"``
+            runs the calibrated synthetic profile (identical results to
+            leaving the axis unset), ``"measured"`` /
+            ``"measured-traditional"`` harvest the tables from a
+            trained :class:`~repro.gcn.model.DeepGCN` (with / without
+            residual connections).  ``None`` keeps the axis out of the run
+            identity, so caches written before it existed keep hitting.
         tag: Optional free-form label carried into exports (e.g. the sweep
             axis value the run represents).
     """
@@ -176,6 +185,7 @@ class RunSpec:
     overrides: Mapping[str, object] = field(default_factory=dict)
     feature_format: Optional[str] = None
     design: Optional[Mapping[str, object]] = None
+    sparsity: Optional[str] = None
     tag: str = ""
 
     def __post_init__(self) -> None:
@@ -192,6 +202,11 @@ class RunSpec:
             object.__setattr__(
                 self, "feature_format", FORMATS.canonical(self.feature_format)
             )
+        if self.sparsity is not None:
+            # Case/alias-fold ("measured-residual" -> "measured") so
+            # equivalent specs share one identity; unknown modes survive the
+            # fold for validate() to reject with a precise error.
+            object.__setattr__(self, "sparsity", fold_sparsity_mode(self.sparsity))
         # Normalise the design override axis: a key-sorted plain dict, with
         # "no overrides" collapsing to None so empty mappings do not mint a
         # distinct run identity.  When the accelerator (and every key) is
@@ -266,6 +281,7 @@ class RunSpec:
             )
         if self.feature_format is not None:
             FORMATS.factory(self.feature_format)
+        resolve_sparsity_mode(self.sparsity)
         if self.design:
             unknown = sorted(set(self.design) - set(DESIGN_KNOBS))
             if unknown:
@@ -314,6 +330,8 @@ class RunSpec:
             data["feature_format"] = self.feature_format
         if self.design:
             data["design"] = dict(self.design)
+        if self.sparsity is not None:
+            data["sparsity"] = self.sparsity
         return data
 
     @property
@@ -334,6 +352,8 @@ class RunSpec:
             parts.append(self.variant)
         if self.feature_format is not None:
             parts.append(self.feature_format)
+        if self.sparsity is not None:
+            parts.append(self.sparsity)
         if self.num_layers != DEFAULT_NUM_LAYERS:
             parts.append(f"L{self.num_layers}")
         if self.seed:
@@ -357,6 +377,7 @@ class RunSpec:
         """Rebuild a spec produced by :meth:`to_dict`."""
         raw_format = data.get("feature_format")
         raw_design = data.get("design")
+        raw_sparsity = data.get("sparsity")
         return cls(
             dataset=str(data["dataset"]),
             accelerator=str(data["accelerator"]),
@@ -368,6 +389,7 @@ class RunSpec:
             overrides=dict(data.get("overrides", {})),
             feature_format=None if raw_format is None else str(raw_format),
             design=None if raw_design is None else dict(raw_design),
+            sparsity=None if raw_sparsity is None else str(raw_sparsity),
             tag=str(data.get("tag", "")),
         )
 

@@ -51,6 +51,12 @@ from repro.core.results import ComparisonResult, SimulationResult
 from repro.core.runspec import RunSpec, build_config
 from repro.errors import ConfigurationError, SimulationError
 from repro.formats.registry import FORMATS
+from repro.gcn.providers import (
+    MeasuredSparsityCache,
+    SparsityProvider,
+    make_sparsity_provider,
+    resolve_sparsity_mode,
+)
 from repro.graphs.datasets import DEFAULT_NUM_LAYERS, Dataset
 from repro.graphs.datasets import load_dataset as _load_dataset
 from repro.memory.replay import TraceCache
@@ -80,6 +86,11 @@ class Session:
             (topology, tiling plan, engine partition) — never on timing
             knobs — so a sweep over N accelerators x M cache sizes builds
             each trace once instead of N x M times.
+        max_cached_measurements: LRU capacity of the measured-sparsity cache
+            (trained :class:`~repro.gcn.model.DeepGCN` models plus their
+            harvested non-zero masks); each entry covers every
+            measured-sparsity run on one (topology, depth, residual, seed)
+            cell.
     """
 
     def __init__(
@@ -87,12 +98,23 @@ class Session:
         config: Optional[SystemConfig] = None,
         max_cached_datasets: int = 32,
         max_cached_traces: int = 256,
+        max_cached_measurements: int = 8,
     ) -> None:
         if max_cached_datasets < 1:
             raise ConfigurationError("max_cached_datasets must be at least 1")
         self.base_config = config
         self.max_cached_datasets = max_cached_datasets
         self._traces = TraceCache(max_entries=max_cached_traces)
+        # Measured-sparsity harvests (trained DeepGCN + non-zero masks) are
+        # memoized per (topology fingerprint, depth, hidden width, residual,
+        # epochs, calibration, seed) — see MeasuredSparsityProvider.measure —
+        # so a sweep over accelerators / formats / cache sizes trains each
+        # cell once.  The provider instances themselves are memoized per
+        # canonical mode.
+        self._measurements = MeasuredSparsityCache(
+            max_entries=max_cached_measurements
+        )
+        self._sparsity_providers: Dict[str, SparsityProvider] = {}
         self._datasets: "OrderedDict[Tuple[str, int, int, int], Dataset]" = OrderedDict()
         # (name, format, design overrides) -> (accelerator factory, format
         # name, format factory, instance).  Both factories are kept so a
@@ -247,12 +269,37 @@ class Session:
         """The session's cross-run trace/replay-structure memo."""
         return self._traces
 
+    @property
+    def measurement_cache(self) -> MeasuredSparsityCache:
+        """The session's cross-run measured-sparsity harvest memo."""
+        return self._measurements
+
+    def sparsity_provider(self, mode: Optional[str]) -> Optional[SparsityProvider]:
+        """The (memoized) provider backing a spec's ``sparsity`` axis.
+
+        ``None`` (the default axis value) returns ``None`` — the pipeline
+        then runs its built-in synthetic path, byte-identical to the
+        pre-provider behaviour.  Measured providers share the session's
+        harvest memo, so every run (and every mode) on one topology reuses
+        one trained model.
+        """
+        canonical = resolve_sparsity_mode(mode)
+        if canonical is None:
+            return None
+        provider = self._sparsity_providers.get(canonical)
+        if provider is None:
+            provider = make_sparsity_provider(canonical, cache=self._measurements)
+            self._sparsity_providers[canonical] = provider
+        return provider
+
     def clear_caches(self) -> None:
-        """Drop every memoized dataset, accelerator, and trace entry."""
+        """Drop every memoized dataset, accelerator, trace, and measurement."""
         self._datasets.clear()
         self._accelerators.clear()
         self._design_models.clear()
         self._traces.clear()
+        self._measurements.clear()
+        self._sparsity_providers.clear()
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -330,6 +377,7 @@ class Session:
             max_sampled_layers=spec.max_sampled_layers,
             seed=spec.seed,
             trace_cache=self._traces,
+            sparsity=self.sparsity_provider(spec.sparsity),
         )
         if annotate:
             result.metadata["scenario_id"] = spec.scenario_id

@@ -7,7 +7,8 @@ Subcommands:
   each design point's Table-I row and full knob settings;
 * ``run`` — simulate one scenario and print its summary (``--set`` accepts
   both flat ``SystemConfig`` override keys and ``DesignPoint`` knob
-  overrides, routed by key name);
+  overrides, routed by key name; ``--sparsity measured`` swaps the synthetic
+  sparsity profile for tables harvested from a trained DeepGCN);
 * ``sweep`` — expand a scenario pack and run it across a worker pool with
   result caching, writing per-scenario JSON plus a merged summary CSV
   (execution is session-based: ``--workers 1`` batches the pack through
@@ -37,6 +38,7 @@ from repro.accelerator.registry import (
 from repro.accelerator.simulator import GCN_VARIANTS
 from repro.errors import ReproError
 from repro.formats.registry import FORMATS, available_formats
+from repro.gcn.providers import SPARSITY_MODES
 from repro.experiments.runner import RunOutcome, SweepRunner, run_scenario
 from repro.experiments.scenarios import SCENARIO_PACKS, available_packs, get_pack
 from repro.experiments.spec import SUPPORTED_OVERRIDES, Scenario
@@ -103,6 +105,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "replace the accelerator's native intermediate-feature format "
             f"with a registry format ({', '.join(available_formats())})"
+        ),
+    )
+    run_parser.add_argument(
+        "--sparsity",
+        default=None,
+        choices=list(SPARSITY_MODES),
+        help=(
+            "sparsity mode: 'synthetic' (calibrated profile, the default "
+            "behaviour) or 'measured' / 'measured-traditional' (train a "
+            "DeepGCN on the dataset's topology and feed its per-row/"
+            "per-slice non-zero tables to the accelerator)"
         ),
     )
     run_parser.add_argument(
@@ -281,6 +294,7 @@ def _cmd_list(args: argparse.Namespace) -> int:
     print(f"Accelerators: {', '.join(available_accelerators())}")
     print(f"Formats:      {', '.join(available_formats())}")
     print(f"Variants:     {', '.join(GCN_VARIANTS)}")
+    print(f"Sparsity:     {', '.join(SPARSITY_MODES)}")
     print(f"Overrides:    {', '.join(SUPPORTED_OVERRIDES)}")
     return 0
 
@@ -330,6 +344,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides=config_overrides,
         feature_format=feature_format,
         design=design_overrides or None,
+        sparsity=args.sparsity,
     )
     result = run_scenario(scenario)
     if args.json:
@@ -426,8 +441,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     for entry in document["results"]:
         scale = entry["max_vertices"] if entry["max_vertices"] else "default"
+        pack_label = entry["pack"] + (
+            " (quick)" if entry.get("quick_pack") else ""
+        )
         line = (
-            f"{entry['pack']:<18} scale={scale:<8} runs={entry['runs']:<4} "
+            f"{pack_label:<18} scale={scale:<8} runs={entry['runs']:<4} "
             f"vectorized={entry['vectorized_s']:.3f}s"
         )
         if entry["legacy_s"] is not None:

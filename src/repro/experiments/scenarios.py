@@ -14,7 +14,12 @@ shaped like one of the SGCN paper's studies:
 * ``design-space`` — a grid of *hypothetical* design points (execution
   order x tiling x feature format x zero skipping) the paper only sampled,
   expressed as :class:`~repro.accelerator.design.DesignPoint` knob
-  overrides over the GCNAX base design.
+  overrides over the GCNAX base design;
+* ``sparsity-depth`` — the Fig. 1 / Fig. 2a story as accelerator scenarios:
+  a depth x residual grid in *measured* sparsity mode, where every run
+  trains/forwards a :class:`~repro.gcn.model.DeepGCN` on the dataset's
+  topology (calibrated along :func:`~repro.gcn.sparsity.sparsity_vs_depth`)
+  and feeds the harvested per-row/per-slice tables to the formats.
 
 Packs default to scaled-down datasets (``max_vertices``) so a full sweep
 stays tractable on a laptop; pass a larger cap for higher fidelity.  Every
@@ -187,6 +192,46 @@ def variant_sweep_pack(
     )
 
 
+#: Depth x residual grid of the ``sparsity-depth`` pack: the two measured
+#: modes are the "Residual" and "Traditional" curves of Fig. 1 / Fig. 2a.
+SPARSITY_DEPTH_MODES = ("measured", "measured-traditional")
+
+#: GCN depths of the ``sparsity-depth`` pack (a coarser ladder than the
+#: synthetic ``depth-sweep``: every cell trains a model).
+SPARSITY_DEPTH_DEPTHS = (4, 8, 16, 28)
+
+
+def sparsity_depth_pack(
+    max_vertices: int = DEFAULT_PACK_MAX_VERTICES, quick: bool = False
+) -> SweepSpec:
+    """Measured-sparsity depth x residual grid (Fig. 1 / Fig. 2a story).
+
+    Runs SGCN on the three medium datasets with the ``measured`` and
+    ``measured-traditional`` sparsity providers across the depth ladder:
+    each cell trains/forwards a DeepGCN on the dataset's topology and the
+    accelerator consumes its harvested per-row/per-slice non-zero tables.
+    The ``quick`` variant shrinks to one dataset and the two endpoint depths
+    for CI smoke runs.
+    """
+    datasets = SENSITIVITY_DATASETS
+    depths = SPARSITY_DEPTH_DEPTHS
+    if quick:
+        datasets = ("pubmed",)
+        depths = (4, 28)
+    return SweepSpec(
+        name="sparsity-depth",
+        description=(
+            "Measured-sparsity depth x residual grid (trained DeepGCN "
+            "tables, Fig. 1/2a)"
+        ),
+        datasets=datasets,
+        accelerators=("sgcn",),
+        depths=depths,
+        sparsities=SPARSITY_DEPTH_MODES,
+        max_vertices=_quick_cap(max_vertices, quick),
+    )
+
+
 def design_space_pack(
     max_vertices: int = DEFAULT_PACK_MAX_VERTICES, quick: bool = False
 ) -> SweepSpec:
@@ -243,6 +288,7 @@ SCENARIO_PACKS: Dict[str, Callable[..., SweepSpec]] = {
     "depth-sweep": depth_sweep_pack,
     "variant-sweep": variant_sweep_pack,
     "design-space": design_space_pack,
+    "sparsity-depth": sparsity_depth_pack,
 }
 
 
@@ -263,7 +309,8 @@ def get_pack(
         quick: Build the pack's CI-smoke variant: a reduced scale cap
             (:data:`QUICK_MAX_VERTICES`) and, where the pack defines one, a
             smaller grid (``design-space`` drops to one dataset and a
-            2x1x2x2 knob grid).
+            2x1x2x2 knob grid; ``sparsity-depth`` to one dataset and the
+            endpoint depths).
     """
     key = name.strip().lower().replace("_", "-")
     if key not in SCENARIO_PACKS:
@@ -288,5 +335,6 @@ __all__ = [
     "get_pack",
     "hbm_generation_pack",
     "paper_comparison_pack",
+    "sparsity_depth_pack",
     "variant_sweep_pack",
 ]

@@ -8,16 +8,17 @@ validation, identity (``scenario_id``), and ``to_dict``/``from_dict`` exist
 exactly once in :mod:`repro.core.runspec`.
 
 A :class:`SweepSpec` declares axes (datasets x accelerators x variants x
-seeds x depths x config overrides x design overrides) and expands them into
-the cartesian grid of run specs, validating every axis value up front so a
-sweep fails before the first simulation rather than hours in.
+seeds x depths x sparsity modes x config overrides x design overrides) and
+expands them into the cartesian grid of run specs, validating every axis
+value up front so a sweep fails before the first simulation rather than
+hours in.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.core.runspec import (
     DRAM_GENERATIONS,
@@ -37,10 +38,11 @@ Scenario = RunSpec
 class SweepSpec:
     """A declarative grid of scenarios.
 
-    The grid is the cartesian product of the five axes (``datasets`` x
+    The grid is the cartesian product of the axes (``datasets`` x
     ``accelerators`` x ``variants`` x ``seeds`` x ``depths`` x
-    ``override_grid``); scalar run parameters (``max_vertices``,
-    ``max_sampled_layers``) are shared by every scenario.
+    ``sparsities`` x ``override_grid`` x ``design_grid``); scalar run
+    parameters (``max_vertices``, ``max_sampled_layers``) are shared by
+    every scenario.
 
     Attributes:
         name: Sweep name (used for output directories).
@@ -49,6 +51,10 @@ class SweepSpec:
         variants: Aggregation variants to sweep.
         seeds: RNG seeds to sweep.
         depths: GCN depths (``num_layers``) to sweep.
+        sparsities: Sparsity modes to sweep (see
+            :data:`~repro.gcn.providers.SPARSITY_MODES`); ``(None,)`` — the
+            default — runs the synthetic profile with the axis left out of
+            every scenario identity.
         override_grid: One :class:`SystemConfig` override mapping per grid
             point; ``[{}]`` means a single point at Table III defaults.
         override_tags: Optional display tag per override grid point (same
@@ -69,6 +75,7 @@ class SweepSpec:
     variants: Sequence[str] = ("gcn",)
     seeds: Sequence[int] = (0,)
     depths: Sequence[int] = (DEFAULT_NUM_LAYERS,)
+    sparsities: Sequence[Optional[str]] = (None,)
     override_grid: Sequence[Mapping[str, object]] = (
         field(default_factory=lambda: [{}])
     )
@@ -84,7 +91,14 @@ class SweepSpec:
     def __post_init__(self) -> None:
         if not self.name:
             raise ConfigurationError("sweep name must not be empty")
-        for axis_name in ("datasets", "accelerators", "variants", "seeds", "depths"):
+        for axis_name in (
+            "datasets",
+            "accelerators",
+            "variants",
+            "seeds",
+            "depths",
+            "sparsities",
+        ):
             if not list(getattr(self, axis_name)):
                 raise ConfigurationError(f"sweep axis {axis_name!r} must not be empty")
         for grid_name in ("override_grid", "design_grid"):
@@ -113,6 +127,7 @@ class SweepSpec:
             * len(list(self.variants))
             * len(list(self.seeds))
             * len(list(self.depths))
+            * len(list(self.sparsities))
             * len(list(self.override_grid))
             * len(list(self.design_grid))
         )
@@ -127,7 +142,7 @@ class SweepSpec:
         Returns:
             The specs in deterministic axis order (design overrides
             outermost, then config overrides, dataset, accelerator, variant,
-            seed, depth).
+            seed, depth, sparsity mode).
         """
         scenarios: List[Scenario] = []
         for design_index, design in enumerate(self.design_grid):
@@ -135,12 +150,20 @@ class SweepSpec:
             for grid_index, overrides in enumerate(self.override_grid):
                 tag = self.override_tags[grid_index] if self.override_tags else ""
                 combined_tag = "/".join(part for part in (tag, design_tag) if part)
-                for dataset, accelerator, variant, seed, depth in itertools.product(
+                for (
+                    dataset,
+                    accelerator,
+                    variant,
+                    seed,
+                    depth,
+                    sparsity,
+                ) in itertools.product(
                     self.datasets,
                     self.accelerators,
                     self.variants,
                     self.seeds,
                     self.depths,
+                    self.sparsities,
                 ):
                     scenarios.append(
                         Scenario(
@@ -153,6 +176,7 @@ class SweepSpec:
                             num_layers=depth,
                             overrides=overrides,
                             design=design or None,
+                            sparsity=sparsity,
                             tag=combined_tag,
                         )
                     )
@@ -177,6 +201,9 @@ class SweepSpec:
             "variants": list(self.variants),
             "seeds": [int(seed) for seed in self.seeds],
             "depths": [int(depth) for depth in self.depths],
+            "sparsities": [
+                None if mode is None else str(mode) for mode in self.sparsities
+            ],
             "override_grid": [dict(point) for point in self.override_grid],
             "override_tags": list(self.override_tags),
             "design_grid": [dict(point) for point in self.design_grid],
@@ -196,6 +223,10 @@ class SweepSpec:
             variants=list(data.get("variants", ["gcn"])),
             seeds=[int(seed) for seed in data.get("seeds", [0])],
             depths=[int(depth) for depth in data.get("depths", [DEFAULT_NUM_LAYERS])],
+            sparsities=[
+                None if mode is None else str(mode)
+                for mode in data.get("sparsities", [None])
+            ],
             override_grid=[dict(point) for point in data.get("override_grid", [{}])],
             override_tags=list(data.get("override_tags", [])),
             design_grid=[dict(point) for point in data.get("design_grid", [{}])],

@@ -41,7 +41,9 @@ SUMMARY_COLUMNS: Tuple[str, ...] = (
     "seed",
     "num_layers",
     "max_vertices",
+    "sparsity",
     "overrides",
+    "design",
     "cycles",
     "runtime_s",
     "dram_bytes",
@@ -72,6 +74,7 @@ def summary_row(scenario: Scenario, result: SimulationResult) -> Dict[str, objec
         "seed": scenario.seed,
         "num_layers": scenario.num_layers,
         "max_vertices": scenario.max_vertices,
+        "sparsity": scenario.sparsity or "synthetic",
         "overrides": json.dumps(dict(sorted(scenario.overrides.items())), sort_keys=True),
         "design": json.dumps(dict(scenario.design or {}), sort_keys=True),
     }

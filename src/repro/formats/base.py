@@ -203,7 +203,11 @@ class FeatureFormat(ABC):
             base_line: First cacheline address available to the layout.
             slice_nnz: Optional ``(rows, slices)`` per-slice non-zero counts
                 for formats that store per-slice metadata (sliced BEICSR);
-                other formats ignore it.
+                other formats ignore it.  Supplied by
+                :meth:`layout_for_matrix` for real matrices and by measured
+                sparsity providers (:mod:`repro.gcn.providers`) for
+                simulation runs; when omitted, sliced formats fall back to
+                an even per-row split.
         """
 
     # -- convenience ------------------------------------------------------ #

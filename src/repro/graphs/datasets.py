@@ -252,6 +252,32 @@ class Dataset:
             seed=self.seed,
         )
 
+    def with_sparsity_profile(self, profile: List[float]) -> "Dataset":
+        """Return a copy whose :meth:`layer_sparsities` is ``profile``.
+
+        Used by the sparsity-provider pipeline: a measured provider replaces
+        the synthetic profile with the one harvested from a trained model,
+        and every downstream consumer (workload construction, tile sizing,
+        output-write accounting) picks it up through the one accessor.  The
+        receiver is left untouched — sessions memoize and share dataset
+        instances across runs.
+        """
+        profile = [float(value) for value in profile]
+        if len(profile) != self.num_layers:
+            raise DatasetError(
+                f"sparsity profile has {len(profile)} entries for a "
+                f"{self.num_layers}-layer dataset"
+            )
+        return Dataset(
+            spec=self.spec,
+            graph=self.graph,
+            scale=self.scale,
+            hidden_width=self.hidden_width,
+            num_layers=self.num_layers,
+            seed=self.seed,
+            _layer_sparsities=profile,
+        )
+
     def describe(self) -> Dict[str, object]:
         """Return a row of Table II for this dataset (full-size statistics)."""
         return {
