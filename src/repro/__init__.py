@@ -71,6 +71,7 @@ from repro.experiments.scenarios import available_packs, get_pack
 from repro.experiments.spec import Scenario, SweepSpec
 from repro.experiments.store import ResultStore
 from repro.graphs.datasets import load_dataset, available_datasets
+from repro import telemetry
 from repro.errors import (
     ConfigurationError,
     DatasetError,
@@ -136,6 +137,7 @@ __all__ = [
     "get_pack",
     "load_dataset",
     "available_datasets",
+    "telemetry",
     "ReproError",
     "ConfigurationError",
     "GraphError",

@@ -54,6 +54,7 @@ from repro.memory.dram import DRAMModel, TrafficPattern
 from repro.memory.energy import EnergyTable
 from repro.memory.replay import ReplayEngine, TraceCache, array_token
 from repro.memory.rowcache import RowCache, RowCacheStats
+from repro.telemetry.spans import span
 
 
 # --------------------------------------------------------------------------- #
@@ -452,13 +453,17 @@ def schedule(context: RunContext) -> RunContext:
             if _replay_backend == "vectorized"
             else aggregation_access_trace_reference
         )
-        build = lambda: build_trace(
-            graph,
-            tiling,
-            num_engines=config.engines.num_aggregation_engines,
-            engine_partition=design.engine_partition,
-            strip_height=config.sac_strip_height,
-        )
+        def build() -> np.ndarray:
+            # Timed inside the builder so trace-cache hits cost no span.
+            with span("trace_generation"):
+                return build_trace(
+                    graph,
+                    tiling,
+                    num_engines=config.engines.num_aggregation_engines,
+                    engine_partition=design.engine_partition,
+                    strip_height=config.sac_strip_height,
+                )
+
         if context.trace_cache is not None:
             trace = context.trace_cache.get(("trace",) + trace_token, build)
         else:
@@ -1125,9 +1130,12 @@ def simulate_design(
     fmt = feature_format if feature_format is not None else design.format_instance()
     dataset = resolve_sparsity_dataset(dataset, sparsity)
     workloads = build_workloads(dataset, variant=variant)
-    context = schedule(
-        build_context(design, fmt, dataset, config, trace_cache, sparsity=sparsity)
-    )
+    with span("build_context"):
+        context = build_context(
+            design, fmt, dataset, config, trace_cache, sparsity=sparsity
+        )
+    with span("schedule"):
+        context = schedule(context)
     return complete_run(
         context,
         workloads,
@@ -1150,9 +1158,12 @@ def complete_run(
     customise) the context themselves — e.g. legacy ``_build_context``
     overrides — can still finish the run through the shared pipeline.
     """
-    replayed = replay(context, workloads, seed, max_sampled_layers)
-    timed = timing(context, replayed)
-    layers = energy(context, timed)
+    with span("replay"):
+        replayed = replay(context, workloads, seed, max_sampled_layers)
+    with span("timing"):
+        timed = timing(context, replayed)
+    with span("energy"):
+        layers = energy(context, timed)
 
     return SimulationResult(
         accelerator=context.design.name,

@@ -53,6 +53,7 @@ from repro.formats.base import FeatureFormat
 from repro.gcn.providers import SparsityProvider
 from repro.graphs.datasets import Dataset
 from repro.memory.replay import TraceCache
+from repro.telemetry.spans import span as _span
 
 
 class AcceleratorModel:
@@ -272,7 +273,10 @@ class AcceleratorModel:
             config = config or SystemConfig()
             dataset = resolve_sparsity_dataset(dataset, sparsity)
             workloads = build_workloads(dataset, variant=variant)
-            context = self._build_context(dataset, config, workloads, trace_cache)
+            # The legacy hook fuses stages 1 and 2; attribute it to
+            # build_context so profiled legacy runs still report a stage.
+            with _span("build_context"):
+                context = self._build_context(dataset, config, workloads, trace_cache)
             if sparsity is not None:
                 context.sparsity = sparsity
             return complete_run(

@@ -42,9 +42,12 @@ import numpy as np
 from repro.accelerator.simulator import get_replay_backend, set_replay_backend
 from repro.core.session import Session
 from repro.experiments.scenarios import get_pack
+from repro.telemetry.spans import reset_spans, set_enabled, span_snapshot
 
-#: Schema version of the BENCH JSON document.
-BENCH_SCHEMA_VERSION = 1
+#: Schema version of the BENCH JSON document.  v2 added the per-pack
+#: ``phases`` span breakdown (telemetry-profiled, measured outside the timed
+#: best-of repeats).
+BENCH_SCHEMA_VERSION = 2
 
 #: Default benchmark cases: ``(pack name, max_vertices)`` — ``None`` keeps
 #: the pack's default scale — with an optional third ``quick`` element
@@ -83,6 +86,10 @@ class PackBenchResult:
     legacy_s: Optional[float] = None
     trace_cache: Dict[str, int] = field(default_factory=dict)
     quick_pack: bool = False
+    #: Span tree of one telemetry-profiled vectorized sweep (where the
+    #: pack's wall-clock goes, stage by stage).  Profiled in a separate,
+    #: untimed pass so instrumentation never perturbs the best-of numbers.
+    phases: Dict[str, object] = field(default_factory=dict)
 
     @property
     def speedup(self) -> Optional[float]:
@@ -103,6 +110,7 @@ class PackBenchResult:
             "legacy_s": None if self.legacy_s is None else round(self.legacy_s, 4),
             "speedup": None if self.speedup is None else round(self.speedup, 2),
             "trace_cache": dict(self.trace_cache),
+            "phases": dict(self.phases),
         }
 
 
@@ -126,6 +134,33 @@ def _time_sweep(specs: Sequence, repeats: int) -> Tuple[float, Session]:
     return best, session
 
 
+def _round_spans(spans: Dict[str, Dict[str, object]]) -> Dict[str, object]:
+    """Span tree with times rounded for a stable committed JSON document."""
+    rounded: Dict[str, object] = {}
+    for name, node in spans.items():
+        entry: Dict[str, object] = {
+            "total_s": round(float(node.get("total_s", 0.0)), 4),
+            "count": int(node.get("count", 0)),
+        }
+        children = node.get("children")
+        if children:
+            entry["children"] = _round_spans(children)
+        rounded[name] = entry
+    return rounded
+
+
+def _profile_sweep(specs: Sequence) -> Dict[str, object]:
+    """Span breakdown of one fresh-session sweep (outside the timed repeats)."""
+    previous_enabled = set_enabled(True)
+    reset_spans()
+    try:
+        Session().run_many(specs, annotate=False)
+        return _round_spans(span_snapshot())
+    finally:
+        reset_spans()
+        set_enabled(previous_enabled)
+
+
 def bench_pack(
     name: str,
     max_vertices: Optional[int] = None,
@@ -146,6 +181,7 @@ def bench_pack(
         set_replay_backend("vectorized")
         vectorized_s, session = _time_sweep(specs, repeats)
         trace_cache = session.trace_cache.stats()
+        phases = _profile_sweep(specs)
         legacy_s = None
         if include_legacy:
             set_replay_backend("legacy")
@@ -161,6 +197,7 @@ def bench_pack(
         legacy_s=legacy_s,
         trace_cache=trace_cache,
         quick_pack=quick_pack,
+        phases=phases,
     )
 
 

@@ -59,7 +59,9 @@ from repro.gcn.providers import (
 )
 from repro.graphs.datasets import DEFAULT_NUM_LAYERS, Dataset
 from repro.graphs.datasets import load_dataset as _load_dataset
-from repro.memory.replay import TraceCache
+from repro.memory.replay import ReplayEngine, TraceCache
+from repro.telemetry.metrics import METRICS_SCHEMA_VERSION
+from repro.telemetry.spans import is_enabled, span_snapshot
 
 #: ``progress`` callback signature of :meth:`Session.run_many`:
 #: ``(index, spec, result)``.
@@ -133,6 +135,14 @@ class Session:
             Tuple[Callable[[], AcceleratorModel], DesignPoint],
             Tuple[Optional[object], AcceleratorModel],
         ] = {}
+        # Observability counters of the two session-local LRUs (the trace
+        # and measurement caches carry their own); surfaced through
+        # metrics_snapshot().
+        self._dataset_hits = 0
+        self._dataset_misses = 0
+        self._dataset_evictions = 0
+        self._accelerator_hits = 0
+        self._accelerator_misses = 0
 
     # ------------------------------------------------------------------ #
     # Memoized resolution
@@ -154,13 +164,16 @@ class Session:
         cached = self._datasets.get(key)
         if cached is not None:
             self._datasets.move_to_end(key)
+            self._dataset_hits += 1
             return cached
+        self._dataset_misses += 1
         dataset = _load_dataset(
             key[0], max_vertices=key[1], num_layers=key[2], seed=key[3]
         )
         self._datasets[key] = dataset
         while len(self._datasets) > self.max_cached_datasets:
             self._datasets.popitem(last=False)
+            self._dataset_evictions += 1
         return dataset
 
     def accelerator(
@@ -224,7 +237,9 @@ class Session:
             if cached_factory is factory and (
                 self._format_factory(format_name) is format_factory
             ):
+                self._accelerator_hits += 1
                 return model
+        self._accelerator_misses += 1
         model = factory()
         if design:
             model = model.use_design(model.design.derive(**dict(design)))
@@ -300,6 +315,48 @@ class Session:
         self._traces.clear()
         self._measurements.clear()
         self._sparsity_providers.clear()
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def metrics_snapshot(self) -> Dict[str, object]:
+        """Current telemetry state of this session (metrics schema v1).
+
+        The snapshot combines the process-global span tree (empty unless
+        telemetry was enabled via :func:`repro.telemetry.set_enabled`) with
+        hit/miss/eviction counters of every session cache.  Counters are
+        always maintained — they cost one integer increment per lookup — so
+        the cache section is meaningful even when spans are off.
+        """
+        replay_memo = {"hits": 0, "misses": 0, "evictions": 0, "entries": 0,
+                       "engines": 0}
+        for value in self._traces.values():
+            if isinstance(value, ReplayEngine):
+                replay_memo["engines"] += 1
+                for counter, count in value.memo_stats().items():
+                    replay_memo[counter] += count
+        return {
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "telemetry_enabled": is_enabled(),
+            "spans": span_snapshot(),
+            "caches": {
+                "trace": self._traces.stats(),
+                "measurement": self._measurements.stats(),
+                "dataset": {
+                    "hits": self._dataset_hits,
+                    "misses": self._dataset_misses,
+                    "evictions": self._dataset_evictions,
+                    "entries": len(self._datasets),
+                },
+                "accelerator": {
+                    "hits": self._accelerator_hits,
+                    "misses": self._accelerator_misses,
+                    "evictions": 0,
+                    "entries": len(self._accelerators),
+                },
+                "replay_memo": replay_memo,
+            },
+        }
 
     # ------------------------------------------------------------------ #
     # Execution

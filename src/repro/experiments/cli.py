@@ -11,22 +11,31 @@ Subcommands:
   sparsity profile for tables harvested from a trained DeepGCN);
 * ``sweep`` — expand a scenario pack and run it across a worker pool with
   result caching, writing per-scenario JSON plus a merged summary CSV
-  (execution is session-based: ``--workers 1`` batches the pack through
-  :meth:`repro.core.session.Session.run_many`, reusing datasets across
-  scenarios);
+  (execution is session-based: every worker keeps one
+  :class:`repro.core.session.Session`, reusing datasets across scenarios);
 * ``export`` — merge a directory of per-scenario JSON documents (sweep
   output or the cache store) into one CSV/JSON summary table;
 * ``bench`` — time the built-in scenario packs under the vectorized
   trace-replay engine and the legacy (pre-vectorization) path, and write a
-  ``BENCH_*.json`` performance-trajectory document.
+  ``BENCH_*.json`` performance-trajectory document;
+* ``stats`` — pretty-print a ``metrics.json`` telemetry document.
+
+Observability controls (see :mod:`repro.telemetry`):
+
+* ``--profile`` on ``run``/``sweep`` records phase spans and cache counters
+  and writes a schema-v1 ``metrics.json`` next to the results — simulation
+  output is byte-identical with or without it;
+* ``--log-level`` (or ``REPRO_LOG_LEVEL``) controls the ``repro.*`` logger
+  tree; ``--quiet`` suppresses informational narration while keeping
+  machine-readable output (JSON summaries, exports) on stdout.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import logging
 import sys
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -36,6 +45,7 @@ from repro.accelerator.registry import (
     resolve_design,
 )
 from repro.accelerator.simulator import GCN_VARIANTS
+from repro.core.session import default_session
 from repro.errors import ReproError
 from repro.formats.registry import FORMATS, available_formats
 from repro.gcn.providers import SPARSITY_MODES
@@ -51,8 +61,50 @@ from repro.experiments.store import (
     summary_row,
 )
 from repro.graphs.datasets import DATASET_SPECS, DEFAULT_NUM_LAYERS
+from repro.telemetry.logs import LOG_LEVELS, configure_logging
+from repro.telemetry.metrics import (
+    METRICS_SCHEMA_VERSION,
+    render_metrics,
+    run_metrics_document,
+    sweep_metrics_document,
+    write_metrics_json,
+)
+from repro.telemetry.spans import reset_spans, set_enabled
+
+import logging
 
 logger = logging.getLogger("repro")
+
+
+class OutputWriter:
+    """One funnel for every line the CLI prints.
+
+    Three channels with distinct routing, so ``--quiet`` and shell
+    redirection behave consistently across subcommands:
+
+    * :meth:`data` — the machine-readable payload the user asked for (JSON
+      summaries, listings, rendered stats); always written, to stdout.
+    * :meth:`info` — human narration (progress, footers, "wrote X" notes);
+      stdout, suppressed by ``--quiet``.
+    * :meth:`error` — failures; always written, to stderr.
+    """
+
+    def __init__(self) -> None:
+        self.quiet = False
+
+    def data(self, message: str = "") -> None:
+        print(message)
+
+    def info(self, message: str = "") -> None:
+        if not self.quiet:
+            print(message)
+
+    def error(self, message: str = "") -> None:
+        print(message, file=sys.stderr)
+
+
+#: Process-wide writer behind every subcommand (configured once in main()).
+OUT = OutputWriter()
 
 
 # --------------------------------------------------------------------------- #
@@ -65,7 +117,22 @@ def build_parser() -> argparse.ArgumentParser:
         description="SGCN (HPCA 2023) reproduction: experiment sweeps and exports.",
     )
     parser.add_argument(
-        "-v", "--verbose", action="store_true", help="enable debug logging"
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="shorthand for --log-level debug",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        choices=list(LOG_LEVELS),
+        help="repro.* logger level (default: REPRO_LOG_LEVEL or info)",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress informational output (results/errors still print)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -134,6 +201,19 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--json", action="store_true", help="print the full result as JSON"
     )
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "record phase/cache telemetry and write a metrics.json document "
+            "(simulation output is byte-identical either way)"
+        ),
+    )
+    run_parser.add_argument(
+        "--metrics-out",
+        default="metrics.json",
+        help="where --profile writes the metrics document (default: metrics.json)",
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     sweep_parser = subparsers.add_parser(
@@ -172,6 +252,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="CI smoke mode: the pack's reduced-scale, tiny-grid variant",
+    )
+    sweep_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "record per-run phase/cache telemetry and write an aggregate "
+            "metrics.json next to the results (results are byte-identical "
+            "either way)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="where --profile writes the metrics document (default: <out>/metrics.json)",
     )
     sweep_parser.set_defaults(func=_cmd_sweep)
 
@@ -233,6 +327,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.set_defaults(func=_cmd_bench)
 
+    stats_parser = subparsers.add_parser(
+        "stats", help="pretty-print a metrics.json telemetry document"
+    )
+    stats_parser.add_argument(
+        "metrics",
+        nargs="?",
+        default="metrics.json",
+        help="metrics document to render (default: metrics.json)",
+    )
+    stats_parser.add_argument(
+        "--json", action="store_true", help="print the raw document instead"
+    )
+    stats_parser.set_defaults(func=_cmd_stats)
+
     return parser
 
 
@@ -281,21 +389,31 @@ def _route_overrides(
     return config_overrides, design_overrides
 
 
+def _format_eta(seconds: float) -> str:
+    """Compact ``h:mm:ss`` / ``m:ss`` / ``Ns`` rendering of an ETA."""
+    seconds = max(0, int(round(seconds)))
+    if seconds >= 3600:
+        return f"{seconds // 3600}:{(seconds % 3600) // 60:02d}:{seconds % 60:02d}"
+    if seconds >= 60:
+        return f"{seconds // 60}:{seconds % 60:02d}"
+    return f"{seconds}s"
+
+
 # --------------------------------------------------------------------------- #
 # Subcommands
 # --------------------------------------------------------------------------- #
 def _cmd_list(args: argparse.Namespace) -> int:
-    print("Scenario packs:")
+    OUT.data("Scenario packs:")
     for name in available_packs():
         spec = get_pack(name)
-        print(f"  {name:<18} {spec.num_scenarios:>4} runs  {spec.description}")
-    print()
-    print(f"Datasets:     {', '.join(sorted(DATASET_SPECS))}")
-    print(f"Accelerators: {', '.join(available_accelerators())}")
-    print(f"Formats:      {', '.join(available_formats())}")
-    print(f"Variants:     {', '.join(GCN_VARIANTS)}")
-    print(f"Sparsity:     {', '.join(SPARSITY_MODES)}")
-    print(f"Overrides:    {', '.join(SUPPORTED_OVERRIDES)}")
+        OUT.data(f"  {name:<18} {spec.num_scenarios:>4} runs  {spec.description}")
+    OUT.data()
+    OUT.data(f"Datasets:     {', '.join(sorted(DATASET_SPECS))}")
+    OUT.data(f"Accelerators: {', '.join(available_accelerators())}")
+    OUT.data(f"Formats:      {', '.join(available_formats())}")
+    OUT.data(f"Variants:     {', '.join(GCN_VARIANTS)}")
+    OUT.data(f"Sparsity:     {', '.join(SPARSITY_MODES)}")
+    OUT.data(f"Overrides:    {', '.join(SUPPORTED_OVERRIDES)}")
     return 0
 
 
@@ -303,16 +421,16 @@ def _cmd_accelerators(args: argparse.Namespace) -> int:
     for name in available_accelerators():
         design = resolve_design(name)
         if not args.describe:
-            print(f"{name:<16} {design.display_name}")
+            OUT.data(f"{name:<16} {design.display_name}")
             continue
-        print(f"{name}:")
+        OUT.data(f"{name}:")
         for key, value in design.describe().items():
-            print(f"  {key:<22} {value}")
-        print("  knobs:")
+            OUT.data(f"  {key:<22} {value}")
+        OUT.data("  knobs:")
         for key, value in design.to_dict().items():
             if key in ("name", "display_name"):
                 continue
-            print(f"    {key:<26} {value}")
+            OUT.data(f"    {key:<26} {value}")
     return 0
 
 
@@ -346,11 +464,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
         design=design_overrides or None,
         sparsity=args.sparsity,
     )
-    result = run_scenario(scenario)
+    session = default_session()
+    previous_enabled: Optional[bool] = None
+    if args.profile:
+        previous_enabled = set_enabled(True)
+        reset_spans()
+    try:
+        result = run_scenario(scenario, session=session)
+    finally:
+        if args.profile:
+            document = run_metrics_document(
+                session.metrics_snapshot(), scenario_id=scenario.scenario_id
+            )
+            set_enabled(previous_enabled)
+            reset_spans()
+    if args.profile:
+        write_metrics_json(args.metrics_out, document)
+        OUT.info(f"wrote {args.metrics_out}")
     if args.json:
-        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        OUT.data(json.dumps(result.to_dict(), indent=2, sort_keys=True))
     else:
-        print(json.dumps(summary_row(scenario, result), indent=2))
+        OUT.data(json.dumps(summary_row(scenario, result), indent=2))
     return 0
 
 
@@ -373,12 +507,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for spec in specs:
             scenarios = spec.expand()
             total += len(scenarios)
-            print(f"{spec.name}: {len(scenarios)} scenarios (validated)")
+            OUT.data(f"{spec.name}: {len(scenarios)} scenarios (validated)")
             for scenario in scenarios[:3]:
-                print(f"  {scenario.scenario_id}  {scenario.label()}")
+                OUT.data(f"  {scenario.scenario_id}  {scenario.label()}")
             if len(scenarios) > 3:
-                print(f"  ... {len(scenarios) - 3} more")
-        print(f"total: {total} scenarios across {len(specs)} pack(s); nothing simulated")
+                OUT.data(f"  ... {len(scenarios) - 3} more")
+        OUT.data(
+            f"total: {total} scenarios across {len(specs)} pack(s); nothing simulated"
+        )
         return 0
 
     out_root = Path(args.out)
@@ -386,22 +522,29 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if not args.no_cache:
         cache_dir = Path(args.cache_dir) if args.cache_dir else out_root / ".cache"
         store = ResultStore(cache_dir)
-    runner = SweepRunner(store=store, workers=args.workers)
+    runner = SweepRunner(store=store, workers=args.workers, profile=args.profile)
 
     exit_code = 0
+    sweep_documents: List[Dict[str, object]] = []
     for spec in specs:
         scenarios = spec.expand()
         pack_dir = out_root / spec.name
-        print(
+        OUT.info(
             f"sweep {spec.name}: {len(scenarios)} scenarios, "
             f"{args.workers} worker(s), out={pack_dir}"
         )
+        pack_started = time.perf_counter()
 
         def progress(outcome: RunOutcome, finished: int, total: int) -> None:
             status = "cached" if outcome.cached else ("ok" if outcome.ok else "FAILED")
-            print(
+            elapsed = time.perf_counter() - pack_started
+            if 0 < finished < total and elapsed > 0:
+                eta = f"  eta {_format_eta(elapsed / finished * (total - finished))}"
+            else:
+                eta = ""
+            OUT.info(
                 f"  [{finished:>{len(str(total))}}/{total}] "
-                f"{status:<6} {outcome.scenario.label()}"
+                f"{status:<6} {outcome.scenario.label()}{eta}"
             )
 
         report = runner.run(scenarios, progress=progress)
@@ -409,19 +552,37 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         rows = []
         for outcome in report.successes():
             export_scenario_json(pack_dir, outcome.scenario, outcome.result)
-            rows.append(summary_row(outcome.scenario, outcome.result))
+            row = summary_row(outcome.scenario, outcome.result)
+            if args.profile:
+                # Wall-clock fields are only emitted under --profile so that
+                # default summary.csv files stay byte-identical across worker
+                # counts and reruns (the determinism invariant cmp-checked in
+                # the verify flow).
+                row["sweep_elapsed_seconds"] = round(report.elapsed_seconds, 6)
+                row["sweep_runs_per_second"] = round(report.runs_per_second, 6)
+            rows.append(row)
         if rows:
             csv_path = export_summary_csv(pack_dir / "summary.csv", rows)
             export_summary_json(pack_dir / "summary.json", rows)
-            print(f"  wrote {len(rows)} scenario JSON files and {csv_path}")
-        print(
-            f"  done in {report.elapsed_s:.1f}s: {report.num_simulated} simulated, "
+            OUT.info(f"  wrote {len(rows)} scenario JSON files and {csv_path}")
+        OUT.info(
+            f"  done in {report.elapsed_seconds:.1f}s "
+            f"({report.runs_per_second:.2f} runs/s): "
+            f"{report.num_simulated} simulated, "
             f"{report.num_cached} cache hits, {report.num_failed} failed"
         )
+        if args.profile:
+            sweep_documents.append(report.metrics_document(pack=spec.name))
         for outcome in report.failures:
-            print(f"  FAILED {outcome.scenario.label()}:", file=sys.stderr)
-            print(outcome.error, file=sys.stderr)
+            OUT.error(f"  FAILED {outcome.scenario.label()}:")
+            OUT.error(outcome.traceback or outcome.error or "")
             exit_code = 1
+    if args.profile:
+        metrics_path = (
+            Path(args.metrics_out) if args.metrics_out else out_root / "metrics.json"
+        )
+        write_metrics_json(metrics_path, sweep_metrics_document(sweep_documents))
+        OUT.info(f"wrote {metrics_path}")
     return exit_code
 
 
@@ -450,15 +611,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         if entry["legacy_s"] is not None:
             line += f"  legacy={entry['legacy_s']:.3f}s  speedup={entry['speedup']:.2f}x"
-        print(line)
+        OUT.data(line)
     summary = document["summary"]
     if summary["overall_speedup"] is not None:
-        print(
+        OUT.data(
             f"overall: {summary['total_legacy_s']:.3f}s -> "
             f"{summary['total_vectorized_s']:.3f}s "
             f"({summary['overall_speedup']:.2f}x)"
         )
-    print(f"wrote {args.out}")
+    OUT.info(f"wrote {args.out}")
     return 0
 
 
@@ -470,7 +631,35 @@ def _cmd_export(args: argparse.Namespace) -> int:
         path = export_summary_csv(out, rows)
     else:
         path = export_summary_json(out, rows)
-    print(f"exported {len(rows)} rows to {path}")
+    OUT.info(f"exported {len(rows)} rows to {path}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    path = Path(args.metrics)
+    if not path.is_file():
+        raise ReproError(
+            f"no metrics document at {path}; produce one with "
+            "`repro run --profile` or `repro sweep --profile`"
+        )
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise ReproError(f"unreadable metrics document {path}: {exc}") from exc
+    if not isinstance(document, dict):
+        raise ReproError(f"{path} is not a metrics document (expected an object)")
+    version = document.get("schema_version")
+    if version != METRICS_SCHEMA_VERSION:
+        logger.warning(
+            "metrics document %s has schema version %r (this build renders v%d)",
+            path,
+            version,
+            METRICS_SCHEMA_VERSION,
+        )
+    if args.json:
+        OUT.data(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        OUT.data(render_metrics(document))
     return 0
 
 
@@ -479,16 +668,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    logging.basicConfig(
-        level=logging.DEBUG if args.verbose else logging.INFO,
-        format="%(levelname)s %(name)s: %(message)s",
-        stream=sys.stderr,
-    )
+    level = args.log_level
+    if level is None and args.verbose:
+        level = "debug"
+    try:
+        configure_logging(level)
+    except ValueError as exc:  # unreachable via argparse choices; env handled inside
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    OUT.quiet = args.quiet
     try:
         return int(args.func(args))
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. `repro stats | head`): exit
+        # quietly like a well-behaved filter.  Stdout is re-pointed at
+        # /dev/null so the interpreter's shutdown flush cannot raise again.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
 
-__all__ = ["build_parser", "main"]
+__all__ = ["OutputWriter", "build_parser", "main"]

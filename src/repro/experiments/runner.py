@@ -13,11 +13,13 @@ objects into :class:`RunOutcome` records:
 * each worker run is wrapped in its own try/except, so one failing scenario
   reports an error outcome instead of killing the sweep.
 
-Execution itself is delegated to :class:`repro.core.session.Session`: the
-serial path batches the pending scenarios through
-:meth:`~repro.core.session.Session.run_many`, and every worker process keeps
-its own session, so scenarios that share a dataset reuse one generated
-topology instead of rebuilding it per run.
+Serial and pool paths share one executor (:func:`_execute_payload`), so both
+produce byte-identical payload dictionaries: results round-trip through
+``to_dict()``/``from_dict()``, errors ship as structured
+``{type, message, traceback}`` blocks, and — under ``profile=True`` — each
+run carries its own telemetry delta (span tree + cache-counter changes, see
+:mod:`repro.telemetry`).  The parent merges the per-run deltas into the sweep
+aggregate exposed by :meth:`SweepReport.metrics_document`.
 
 Everything the simulation depends on is seeded from the scenario, so serial
 and parallel sweeps of the same spec produce identical summaries.
@@ -37,6 +39,13 @@ from repro.core.session import Session, default_session
 from repro.errors import ConfigurationError
 from repro.experiments.spec import Scenario
 from repro.experiments.store import ResultStore
+from repro.telemetry.metrics import (
+    cache_hit_ratios,
+    diff_counters,
+    merge_counters,
+    merge_spans,
+)
+from repro.telemetry.spans import reset_spans, set_enabled, span_snapshot
 
 logger = logging.getLogger(__name__)
 
@@ -73,27 +82,76 @@ def _worker_session() -> Session:
     return _WORKER_SESSION
 
 
-def _worker_execute(payload: Tuple[int, Dict[str, object]]) -> Tuple[int, Dict[str, object]]:
+def _execute_payload(
+    session: Session, scenario: Scenario, profile: bool
+) -> Dict[str, object]:
+    """Run one scenario and build the wire payload (serial and pool path).
+
+    Success payloads carry the result as a ``to_dict()`` document; failures
+    carry a structured ``{"type", "message", "traceback"}`` error block.
+    Under ``profile=True`` the payload additionally ships a ``telemetry``
+    delta: the span tree recorded during this run plus the change in the
+    session's cache counters — both attributable to exactly this scenario,
+    so the parent can merge worker telemetry without double counting.
+
+    Only ordinary :class:`Exception` is isolated: KeyboardInterrupt /
+    SystemExit must still abort the sweep (especially in serial mode, where
+    this runs in the main process).
+    """
+    before = session.metrics_snapshot()["caches"] if profile else None
+    previous_enabled: Optional[bool] = None
+    if profile:
+        previous_enabled = set_enabled(True)
+        reset_spans()
+    started = time.perf_counter()
+    try:
+        result = run_scenario(scenario, session=session)
+        payload: Dict[str, object] = {"ok": True, "result": result.to_dict()}
+    except Exception as exc:  # noqa: BLE001 — isolation is the point
+        payload = {
+            "ok": False,
+            "error": {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            },
+        }
+    finally:
+        payload_elapsed = time.perf_counter() - started
+        if profile:
+            telemetry = {
+                "spans": span_snapshot(),
+                "caches": diff_counters(
+                    before, session.metrics_snapshot()["caches"]
+                ),
+            }
+            reset_spans()
+            set_enabled(previous_enabled)
+    payload["elapsed_s"] = payload_elapsed
+    if profile:
+        payload["telemetry"] = telemetry
+    return payload
+
+
+def _worker_execute(
+    payload: Tuple[int, Dict[str, object], bool]
+) -> Tuple[int, Dict[str, object]]:
     """Pool entry point: run one scenario, never raise."""
-    index, scenario_dict = payload
+    index, scenario_dict, profile = payload
     started = time.perf_counter()
     try:
         scenario = Scenario.from_dict(scenario_dict)
-        result = run_scenario(scenario, session=_worker_session())
-        return index, {
-            "ok": True,
-            "result": result.to_dict(),
-            "elapsed_s": time.perf_counter() - started,
-        }
-    except Exception:  # noqa: BLE001 — isolation is the point
-        # Only ordinary errors are isolated: KeyboardInterrupt/SystemExit
-        # must still abort the sweep (especially in serial mode, where this
-        # runs in the main process).
+    except Exception as exc:  # noqa: BLE001 — a bad payload must not kill the pool
         return index, {
             "ok": False,
-            "error": traceback.format_exc(),
+            "error": {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": traceback.format_exc(),
+            },
             "elapsed_s": time.perf_counter() - started,
         }
+    return index, _execute_payload(_worker_session(), scenario, profile)
 
 
 @dataclass
@@ -103,16 +161,24 @@ class RunOutcome:
     Attributes:
         scenario: The scenario that was (or failed to be) simulated.
         result: The simulation result; ``None`` when ``error`` is set.
-        error: Traceback text of a failed run; ``None`` on success.
+        error: ``"ExcType: message"`` of a failed run; ``None`` on success.
+        error_type: Exception class name of a failed run.
+        traceback: Full traceback text of a failed run (crosses the worker
+            boundary intact, so pool failures debug like serial ones).
         cached: Whether the result came from the store without simulating.
         elapsed_s: Wall-clock seconds the run took (0 for cache hits).
+        telemetry: Per-run telemetry delta (``{"spans", "caches"}``) when the
+            sweep ran with ``profile=True``; ``None`` otherwise.
     """
 
     scenario: Scenario
     result: Optional[SimulationResult] = None
     error: Optional[str] = None
+    error_type: Optional[str] = None
+    traceback: Optional[str] = None
     cached: bool = False
     elapsed_s: float = 0.0
+    telemetry: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -151,6 +217,61 @@ class SweepReport:
         """The successful outcomes, in scenario order."""
         return [outcome for outcome in self.outcomes if outcome.ok]
 
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    @property
+    def elapsed_seconds(self) -> float:
+        """Wall-clock seconds of the whole sweep (including cache hits)."""
+        return self.elapsed_s
+
+    @property
+    def runs_per_second(self) -> float:
+        """Scenario throughput over the sweep's wall-clock (0 if instant)."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return len(self.outcomes) / self.elapsed_s
+
+    def phase_totals(self) -> Dict[str, Dict[str, object]]:
+        """Per-run span trees merged across every profiled outcome."""
+        spans: Dict[str, Dict[str, object]] = {}
+        for outcome in self.outcomes:
+            if outcome.telemetry:
+                merge_spans(spans, outcome.telemetry.get("spans", {}))
+        return spans
+
+    def cache_totals(self) -> Dict[str, object]:
+        """Per-run cache-counter deltas summed across profiled outcomes."""
+        caches: Dict[str, object] = {}
+        for outcome in self.outcomes:
+            if outcome.telemetry:
+                merge_counters(caches, outcome.telemetry.get("caches", {}))
+        return caches
+
+    def metrics_document(self, pack: Optional[str] = None) -> Dict[str, object]:
+        """One sweep's aggregate block of a ``sweep-profile`` metrics document.
+
+        Merges every outcome's telemetry delta (span trees summed node-wise,
+        cache counters summed leaf-wise) and folds in the sweep-level
+        run counts and throughput.  Feed a list of these to
+        :func:`repro.telemetry.metrics.sweep_metrics_document`.
+        """
+        caches = self.cache_totals()
+        document: Dict[str, object] = {
+            "total_runs": len(self.outcomes),
+            "simulated": self.num_simulated,
+            "cached": self.num_cached,
+            "failed": self.num_failed,
+            "elapsed_seconds": self.elapsed_s,
+            "runs_per_second": self.runs_per_second,
+            "spans": self.phase_totals(),
+            "caches": caches,
+            "cache_hit_ratios": cache_hit_ratios(caches),
+        }
+        if pack is not None:
+            document["pack"] = pack
+        return document
+
 
 class SweepRunner:
     """Execute scenarios across a worker pool with result caching.
@@ -163,6 +284,10 @@ class SweepRunner:
             balances dispatch overhead against load imbalance.
         mp_context: ``multiprocessing`` start method (``"fork"``/``"spawn"``);
             platform default when omitted.
+        profile: Record per-run telemetry (phase spans + cache-counter
+            deltas) into each :class:`RunOutcome`; the aggregate is exposed
+            by :meth:`SweepReport.metrics_document`.  Results are
+            byte-identical with profiling on or off.
     """
 
     def __init__(
@@ -171,6 +296,7 @@ class SweepRunner:
         workers: int = 1,
         chunk_size: Optional[int] = None,
         mp_context: Optional[str] = None,
+        profile: bool = False,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be at least 1")
@@ -180,6 +306,7 @@ class SweepRunner:
         self.workers = workers
         self.chunk_size = chunk_size
         self.mp_context = mp_context
+        self.profile = profile
 
     # ------------------------------------------------------------------ #
     def run(
@@ -235,20 +362,40 @@ class SweepRunner:
         record: Callable[[int, RunOutcome], None],
     ) -> None:
         elapsed = float(payload.get("elapsed_s", 0.0))
+        telemetry = payload.get("telemetry")
         if payload["ok"]:
             result = SimulationResult.from_dict(payload["result"])
             if self.store is not None:
                 self.store.put(scenario, result)
             record(
                 index,
-                RunOutcome(scenario=scenario, result=result, elapsed_s=elapsed),
+                RunOutcome(
+                    scenario=scenario,
+                    result=result,
+                    elapsed_s=elapsed,
+                    telemetry=telemetry,
+                ),
             )
         else:
-            error = str(payload["error"])
-            logger.error("scenario %s failed:\n%s", scenario.label(), error)
+            error = payload["error"]
+            if isinstance(error, dict):
+                error_type = str(error.get("type", "Exception"))
+                message = str(error.get("message", ""))
+                trace = str(error.get("traceback", ""))
+            else:  # legacy flat-string payloads
+                error_type, message, trace = "Exception", str(error), str(error)
+            summary = f"{error_type}: {message}" if message else error_type
+            logger.error("scenario %s failed:\n%s", scenario.label(), trace or summary)
             record(
                 index,
-                RunOutcome(scenario=scenario, error=error, elapsed_s=elapsed),
+                RunOutcome(
+                    scenario=scenario,
+                    error=summary,
+                    error_type=error_type,
+                    traceback=trace or None,
+                    elapsed_s=elapsed,
+                    telemetry=telemetry,
+                ),
             )
 
     def _run_serial(
@@ -256,49 +403,19 @@ class SweepRunner:
         pending: Sequence[Tuple[int, Scenario]],
         record: Callable[[int, RunOutcome], None],
     ) -> None:
-        """Run the pending scenarios through one :meth:`Session.run_many` batch.
+        """Run the pending scenarios in-process through one shared session.
 
-        Results take the same ``to_dict()``/``from_dict()`` round-trip as pool
-        payloads, so serial and parallel sweeps reconstruct identical result
-        objects; per-scenario failures are isolated via the session's
-        ``on_error`` hook (KeyboardInterrupt/SystemExit still abort).
+        Each scenario goes through the same :func:`_execute_payload` path as
+        a pool worker, so serial and parallel sweeps produce identical
+        payload dictionaries (results round-trip through ``to_dict()`` /
+        ``from_dict()``, failures carry structured tracebacks, telemetry
+        deltas attribute to single runs).  KeyboardInterrupt/SystemExit
+        propagate and abort the sweep.
         """
         session = Session()
-        # The callbacks fire right after each run; elapsed is measured from
-        # the previous callback's *exit*, so store writes / progress work done
-        # inside _finish are not attributed to the following scenario.
-        timer = [time.perf_counter()]
-
-        def on_done(position: int, spec: Scenario, result: SimulationResult) -> None:
-            elapsed = time.perf_counter() - timer[0]
-            index, scenario = pending[position]
-            payload: Dict[str, object] = {
-                "ok": True,
-                "result": result.to_dict(),
-                "elapsed_s": elapsed,
-            }
+        for index, scenario in pending:
+            payload = _execute_payload(session, scenario, self.profile)
             self._finish(index, scenario, payload, record)
-            timer[0] = time.perf_counter()
-
-        def on_error(position: int, spec: Scenario, exc: Exception) -> None:
-            elapsed = time.perf_counter() - timer[0]
-            index, scenario = pending[position]
-            payload: Dict[str, object] = {
-                "ok": False,
-                "error": "".join(
-                    traceback.format_exception(type(exc), exc, exc.__traceback__)
-                ),
-                "elapsed_s": elapsed,
-            }
-            self._finish(index, scenario, payload, record)
-            timer[0] = time.perf_counter()
-
-        session.run_many(
-            [scenario for _, scenario in pending],
-            annotate=True,
-            progress=on_done,
-            on_error=on_error,
-        )
 
     def _run_pool(
         self,
@@ -306,7 +423,9 @@ class SweepRunner:
         record: Callable[[int, RunOutcome], None],
     ) -> None:
         scenarios_by_index = {index: scenario for index, scenario in pending}
-        payloads = [(index, scenario.to_dict()) for index, scenario in pending]
+        payloads = [
+            (index, scenario.to_dict(), self.profile) for index, scenario in pending
+        ]
         workers = min(self.workers, len(payloads))
         chunk = self.chunk_size or max(1, len(payloads) // (workers * 4))
         context = multiprocessing.get_context(self.mp_context)

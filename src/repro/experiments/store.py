@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from repro.core.results import SimulationResult
 from repro.errors import SimulationError
 from repro.experiments.spec import Scenario
+from repro.telemetry.spans import span
 
 logger = logging.getLogger(__name__)
 
@@ -50,6 +51,13 @@ SUMMARY_COLUMNS: Tuple[str, ...] = (
     "macs",
     "energy_j",
     "cache_hit_rate",
+    # Sweep-level throughput context (identical on every row of one sweep).
+    # Only populated by profiled sweeps (`repro sweep --profile`): wall-clock
+    # values would otherwise break the byte-identical summary.csv guarantee
+    # across worker counts and reruns. Empty outside sweeps too, e.g.
+    # `repro export` over a bare cache store.
+    "sweep_elapsed_seconds",
+    "sweep_runs_per_second",
 )
 
 
@@ -117,9 +125,10 @@ class ResultStore:
         if not path.is_file():
             return None
         try:
-            with path.open("r", encoding="utf-8") as handle:
-                document = json.load(handle)
-            return SimulationResult.from_dict(document["result"])
+            with span("store_get"):
+                with path.open("r", encoding="utf-8") as handle:
+                    document = json.load(handle)
+                return SimulationResult.from_dict(document["result"])
         except (OSError, ValueError, KeyError, TypeError) as exc:
             logger.warning("dropping corrupt cache entry %s (%s)", path, exc)
             try:
@@ -131,15 +140,16 @@ class ResultStore:
     def put(self, scenario: Scenario, result: SimulationResult) -> Path:
         """Store ``result`` for ``scenario`` and return the entry path."""
         path = self.path_for(scenario)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        document = {
-            "schema": SCHEMA_VERSION,
-            "key": scenario_cache_key(scenario),
-            "scenario": scenario.to_dict(),
-            "result": result.to_dict(),
-            "summary": result.summary(),
-        }
-        _atomic_write_json(path, document)
+        with span("store_put"):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            document = {
+                "schema": SCHEMA_VERSION,
+                "key": scenario_cache_key(scenario),
+                "scenario": scenario.to_dict(),
+                "result": result.to_dict(),
+                "summary": result.summary(),
+            }
+            _atomic_write_json(path, document)
         return path
 
     # ------------------------------------------------------------------ #

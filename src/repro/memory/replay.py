@@ -47,6 +47,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.memory.rowcache import RowCache, RowCacheStats
+from repro.telemetry.spans import span
 
 #: Index dtype of the precomputed tree structure.  Traces are bounded far
 #: below 2**31 accesses (they are per-pass edge counts), so 32-bit indices
@@ -88,33 +89,36 @@ class ReplayEngine:
     """
 
     def __init__(self, trace: np.ndarray, pinned: Optional[np.ndarray] = None) -> None:
-        trace = np.ascontiguousarray(trace, dtype=np.int64)
-        if trace.ndim != 1:
-            raise ConfigurationError("trace must be a one-dimensional array")
-        self.total_accesses = int(trace.size)
+        with span("engine_build"):
+            trace = np.ascontiguousarray(trace, dtype=np.int64)
+            if trace.ndim != 1:
+                raise ConfigurationError("trace must be a one-dimensional array")
+            self.total_accesses = int(trace.size)
 
-        if pinned is not None and len(pinned) and trace.size:
-            pinned = np.asarray(pinned, dtype=np.int64)
-            lookup = np.zeros(int(trace.max()) + 1, dtype=bool)
-            lookup[pinned[pinned <= trace.max()]] = True
-            pinned_mask = lookup[trace]
-            self.pinned_rows = trace[pinned_mask]
-            self.trace = trace[~pinned_mask]
-        else:
-            self.pinned_rows = np.zeros(0, dtype=np.int64)
-            self.trace = trace
+            if pinned is not None and len(pinned) and trace.size:
+                pinned = np.asarray(pinned, dtype=np.int64)
+                lookup = np.zeros(int(trace.max()) + 1, dtype=bool)
+                lookup[pinned[pinned <= trace.max()]] = True
+                pinned_mask = lookup[trace]
+                self.pinned_rows = trace[pinned_mask]
+                self.trace = trace[~pinned_mask]
+            else:
+                self.pinned_rows = np.zeros(0, dtype=np.int64)
+                self.trace = trace
 
-        self.prev = _previous_occurrences(self.trace)
-        # Eval-loop constants: clipped previous-occurrence index (+1, for the
-        # exclusive prefix-sum lookup) and the repeat-access mask.
-        self._prev_plus1 = np.where(self.prev >= 0, self.prev, 0) + 1
-        self._seen_before = self.prev >= 0
-        self._build_structure(self.trace.size, self.prev)
+            self.prev = _previous_occurrences(self.trace)
+            # Eval-loop constants: clipped previous-occurrence index (+1, for
+            # the exclusive prefix-sum lookup) and the repeat-access mask.
+            self._prev_plus1 = np.where(self.prev >= 0, self.prev, 0) + 1
+            self._seen_before = self.prev >= 0
+            self._build_structure(self.trace.size, self.prev)
         # Result memo keyed by (size-table digest, capacity).  Dense-style
         # formats feed the same constant table for every layer and pass of a
         # run, so most evaluations of an engine repeat a previous one.
         self._memo: "OrderedDict[Tuple[str, int], RowCacheStats]" = OrderedDict()
         self.memo_hits = 0
+        self.memo_misses = 0
+        self.memo_evictions = 0
 
     # ------------------------------------------------------------------ #
     # Structure construction (trace-only, size-independent)
@@ -252,11 +256,23 @@ class ReplayEngine:
             self._memo.move_to_end(memo_key)
             self.memo_hits += 1
             return replace(cached)
-        stats = self._evaluate(table, capacity_lines)
+        self.memo_misses += 1
+        with span("replay_evaluate"):
+            stats = self._evaluate(table, capacity_lines)
         self._memo[memo_key] = replace(stats)
         while len(self._memo) > self.MEMO_ENTRIES:
             self._memo.popitem(last=False)
+            self.memo_evictions += 1
         return stats
+
+    def memo_stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction counters of the per-(table, capacity) memo."""
+        return {
+            "hits": self.memo_hits,
+            "misses": self.memo_misses,
+            "evictions": self.memo_evictions,
+            "entries": len(self._memo),
+        }
 
     def _evaluate(self, table: np.ndarray, capacity_lines: int) -> RowCacheStats:
         n = self.trace.size
@@ -354,6 +370,23 @@ def replay_accesses(
     return cache.stats
 
 
+def _entry_bytes(value: object) -> int:
+    """Best-effort memory footprint of one cache entry.
+
+    Replay engines expose :meth:`ReplayEngine.structure_bytes`; arrays (and
+    graph objects that implement the same protocol) expose ``nbytes``.
+    Entries with neither report 0 — the bytes gauge is an observability aid,
+    not an accounting invariant.
+    """
+    probe = getattr(value, "structure_bytes", None)
+    if callable(probe):
+        return int(probe())
+    nbytes = getattr(value, "nbytes", None)
+    if isinstance(nbytes, (int, np.integer)):
+        return int(nbytes)
+    return 0
+
+
 class TraceCache:
     """LRU memo for traces, replay engines, and derived graphs.
 
@@ -365,6 +398,11 @@ class TraceCache:
     configurations x M cache sizes rebuilds each entry once instead of
     N x M times.  :class:`repro.core.session.Session` owns one instance and
     threads it through every run.
+
+    Besides the hit/miss counters the cache tracks evictions and an
+    approximate resident-bytes gauge (:func:`_entry_bytes` per entry), all
+    reported by :meth:`stats` and surfaced through
+    :meth:`repro.core.session.Session.metrics_snapshot`.
     """
 
     def __init__(self, max_entries: int = 256) -> None:
@@ -374,6 +412,8 @@ class TraceCache:
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.current_bytes = 0
 
     def get(self, key: Hashable, builder: Callable[[], object]) -> object:
         """Return the cached value for ``key``, building and storing on miss."""
@@ -385,17 +425,31 @@ class TraceCache:
         value = builder()
         self.misses += 1
         self._entries[key] = value
+        self.current_bytes += _entry_bytes(value)
         while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+            _, evicted = self._entries.popitem(last=False)
+            self.evictions += 1
+            self.current_bytes -= _entry_bytes(evicted)
         return value
 
     def clear(self) -> None:
-        """Drop every entry (the hit/miss counters survive)."""
+        """Drop every entry (the hit/miss/eviction counters survive)."""
         self._entries.clear()
+        self.current_bytes = 0
+
+    def values(self):
+        """Iterate over the cached values (LRU to MRU order)."""
+        return self._entries.values()
 
     def stats(self) -> Dict[str, int]:
-        """Hit/miss/size counters, e.g. for benchmark reports."""
-        return {"hits": self.hits, "misses": self.misses, "entries": len(self._entries)}
+        """Hit/miss/eviction/bytes counters, e.g. for metrics snapshots."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+            "bytes": max(0, int(self.current_bytes)),
+        }
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -1,0 +1,83 @@
+"""Structured logging setup for the ``repro.*`` logger hierarchy.
+
+Every module in the package logs through ``logging.getLogger(__name__)``,
+which puts the whole tree under the ``repro`` root logger.  This module is
+the one place that configures it: the CLI calls :func:`configure_logging`
+once at startup, resolving the level from (in priority order) an explicit
+``--log-level`` argument, the ``REPRO_LOG_LEVEL`` environment variable, and
+the default (``INFO``, preserving the historical CLI behaviour).
+
+Library consumers that embed :mod:`repro` keep full control: nothing here
+runs at import time, and :func:`configure_logging` only touches the
+``repro`` logger, never the root logger of the host application.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Optional
+
+#: Environment variable consulted when no explicit level is given.
+LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
+
+#: Accepted ``--log-level`` / ``REPRO_LOG_LEVEL`` spellings.
+LOG_LEVELS = ("debug", "info", "warning", "error", "critical")
+
+#: Level used when neither the flag nor the environment specifies one.
+DEFAULT_LOG_LEVEL = "info"
+
+
+def resolve_log_level(explicit: Optional[str] = None) -> int:
+    """Numeric logging level from flag > environment > default.
+
+    Unknown spellings raise ``ValueError`` (for the flag) or fall back to the
+    default with a warning on stderr (for the environment variable, which
+    must never make the CLI unusable).
+    """
+    if explicit is not None:
+        name = explicit.strip().lower()
+        if name not in LOG_LEVELS:
+            raise ValueError(
+                f"unknown log level {explicit!r}; choose from {', '.join(LOG_LEVELS)}"
+            )
+        return getattr(logging, name.upper())
+    from_env = os.environ.get(LOG_LEVEL_ENV)
+    if from_env:
+        name = from_env.strip().lower()
+        if name in LOG_LEVELS:
+            return getattr(logging, name.upper())
+        print(
+            f"warning: ignoring {LOG_LEVEL_ENV}={from_env!r} "
+            f"(choose from {', '.join(LOG_LEVELS)})",
+            file=sys.stderr,
+        )
+    return getattr(logging, DEFAULT_LOG_LEVEL.upper())
+
+
+def configure_logging(level: Optional[str] = None) -> logging.Logger:
+    """Configure the ``repro`` logger tree and return its root.
+
+    Idempotent: repeated calls replace the handler/level instead of stacking
+    handlers (important for in-process CLI invocations, e.g. the test suite).
+    Log lines go to stderr so stdout stays machine-readable.
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(resolve_log_level(level))
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    for existing in list(logger.handlers):
+        logger.removeHandler(existing)
+    logger.addHandler(handler)
+    logger.propagate = False
+    return logger
+
+
+__all__ = [
+    "DEFAULT_LOG_LEVEL",
+    "LOG_LEVELS",
+    "LOG_LEVEL_ENV",
+    "configure_logging",
+    "resolve_log_level",
+]

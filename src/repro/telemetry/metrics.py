@@ -1,0 +1,251 @@
+"""Metrics documents: the stable JSON schema over spans and cache counters.
+
+Everything observable funnels into one shape, the **metrics document**
+(``schema_version`` 1):
+
+* ``Session.metrics_snapshot()`` produces the per-process building block —
+  the span tree plus every cache's counters;
+* sweep workers ship per-run snapshot *deltas* back through the worker dict
+  protocol, and :meth:`~repro.experiments.runner.SweepReport.metrics_document`
+  merges them into a per-pack aggregate;
+* ``repro run --profile`` / ``repro sweep --profile`` write the document as a
+  ``metrics.json`` artifact next to the result store, and ``repro stats``
+  pretty-prints it (:func:`render_metrics`).
+
+The helpers here are deliberately dumb, order-preserving dictionary algebra:
+:func:`merge_spans` sums two span trees, :func:`merge_counters` /
+:func:`diff_counters` sum/subtract numeric leaves, :func:`hit_ratio` folds a
+counter block into one number.  Counter semantics under merge/diff: monotonic
+event counts (``hits``/``misses``/``evictions``) merge exactly; gauge-style
+keys (``entries``, ``bytes``) become *net changes* in a delta, which is what
+a per-run attribution wants.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional
+
+#: Schema version of every metrics document (``metrics.json``, worker
+#: telemetry payloads, ``Session.metrics_snapshot()``).
+METRICS_SCHEMA_VERSION = 1
+
+#: ``kind`` values of a top-level metrics document.
+METRICS_KINDS = ("snapshot", "run-profile", "sweep-profile")
+
+
+# --------------------------------------------------------------------------- #
+# Dictionary algebra
+# --------------------------------------------------------------------------- #
+def merge_spans(
+    base: Dict[str, Dict[str, object]], extra: Mapping[str, Mapping[str, object]]
+) -> Dict[str, Dict[str, object]]:
+    """Merge span tree ``extra`` into ``base`` (summing times/counts) and
+    return ``base``.  Both trees use the :meth:`SpanNode.to_dict` shape."""
+    for name, node in extra.items():
+        target = base.get(name)
+        if target is None:
+            target = {"total_s": 0.0, "count": 0}
+            base[name] = target
+        target["total_s"] = float(target.get("total_s", 0.0)) + float(
+            node.get("total_s", 0.0)
+        )
+        target["count"] = int(target.get("count", 0)) + int(node.get("count", 0))
+        children = node.get("children")
+        if children:
+            merged = target.setdefault("children", {})
+            merge_spans(merged, children)
+    return base
+
+
+def merge_counters(
+    base: Dict[str, object], extra: Mapping[str, object]
+) -> Dict[str, object]:
+    """Recursively sum numeric leaves of ``extra`` into ``base``; returns ``base``."""
+    for key, value in extra.items():
+        if isinstance(value, Mapping):
+            target = base.setdefault(key, {})
+            if isinstance(target, dict):
+                merge_counters(target, value)
+        elif isinstance(value, bool) or not isinstance(value, (int, float)):
+            base.setdefault(key, value)
+        else:
+            base[key] = type(value)(base.get(key, 0) + value)
+    return base
+
+
+def diff_counters(
+    before: Mapping[str, object], after: Mapping[str, object]
+) -> Dict[str, object]:
+    """Numeric leaf-wise ``after - before`` (recursive; keys from ``after``)."""
+    delta: Dict[str, object] = {}
+    for key, value in after.items():
+        if isinstance(value, Mapping):
+            delta[key] = diff_counters(
+                before.get(key, {}) if isinstance(before.get(key), Mapping) else {},
+                value,
+            )
+        elif isinstance(value, bool) or not isinstance(value, (int, float)):
+            delta[key] = value
+        else:
+            previous = before.get(key, 0)
+            if isinstance(previous, bool) or not isinstance(previous, (int, float)):
+                previous = 0
+            delta[key] = type(value)(value - previous)
+    return delta
+
+
+def hit_ratio(counters: Mapping[str, object]) -> Optional[float]:
+    """``hits / (hits + misses)`` of one counter block; ``None`` if untouched."""
+    hits = counters.get("hits", 0)
+    misses = counters.get("misses", 0)
+    if not isinstance(hits, (int, float)) or not isinstance(misses, (int, float)):
+        return None
+    total = hits + misses
+    if total <= 0:
+        return None
+    return float(hits) / float(total)
+
+
+def cache_hit_ratios(
+    caches: Mapping[str, Mapping[str, object]]
+) -> Dict[str, Optional[float]]:
+    """Per-cache hit ratios of a ``caches`` counter block."""
+    return {name: hit_ratio(block) for name, block in caches.items()}
+
+
+# --------------------------------------------------------------------------- #
+# Documents
+# --------------------------------------------------------------------------- #
+def run_metrics_document(
+    snapshot: Mapping[str, object], scenario_id: Optional[str] = None
+) -> Dict[str, object]:
+    """``metrics.json`` document of one profiled ``repro run``."""
+    document: Dict[str, object] = {
+        "schema_version": METRICS_SCHEMA_VERSION,
+        "kind": "run-profile",
+        "spans": snapshot.get("spans", {}),
+        "caches": snapshot.get("caches", {}),
+        "cache_hit_ratios": cache_hit_ratios(snapshot.get("caches", {})),
+    }
+    if scenario_id is not None:
+        document["scenario_id"] = scenario_id
+    return document
+
+
+def sweep_metrics_document(sweeps: List[Dict[str, object]]) -> Dict[str, object]:
+    """``metrics.json`` document of one profiled ``repro sweep`` invocation.
+
+    ``sweeps`` holds one per-pack aggregate each, as produced by
+    :meth:`~repro.experiments.runner.SweepReport.metrics_document`.
+    """
+    return {
+        "schema_version": METRICS_SCHEMA_VERSION,
+        "kind": "sweep-profile",
+        "sweeps": list(sweeps),
+    }
+
+
+def write_metrics_json(path, document: Mapping[str, object]) -> None:
+    """Write a metrics document (stable key order for golden diffs)."""
+    from pathlib import Path
+
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+# --------------------------------------------------------------------------- #
+# Rendering (the ``repro stats`` view)
+# --------------------------------------------------------------------------- #
+def _render_span_tree(
+    spans: Mapping[str, Mapping[str, object]],
+    lines: List[str],
+    indent: int,
+    total_s: float,
+) -> None:
+    width = max((len(name) for name in spans), default=0) + 2
+    for name, node in spans.items():
+        seconds = float(node.get("total_s", 0.0))
+        count = int(node.get("count", 0))
+        share = f"{100.0 * seconds / total_s:5.1f}%" if total_s > 0 else "    -"
+        lines.append(
+            f"{'  ' * indent}{name:<{width}}{seconds:>9.3f}s  {share}  x{count}"
+        )
+        children = node.get("children")
+        if children:
+            _render_span_tree(children, lines, indent + 1, total_s)
+
+
+def _render_counters(
+    caches: Mapping[str, Mapping[str, object]], lines: List[str], indent: int
+) -> None:
+    for name, block in sorted(caches.items()):
+        ratio = hit_ratio(block)
+        ratio_text = f"{100.0 * ratio:5.1f}% hit" if ratio is not None else "  (unused)"
+        detail = ", ".join(
+            f"{key}={block[key]}"
+            for key in ("hits", "misses", "evictions", "entries", "bytes")
+            if key in block
+        )
+        lines.append(f"{'  ' * indent}{name:<14}{ratio_text}  [{detail}]")
+
+
+def _top_level_seconds(spans: Mapping[str, Mapping[str, object]]) -> float:
+    return sum(float(node.get("total_s", 0.0)) for node in spans.values())
+
+
+def _render_one_profile(entry: Mapping[str, object], lines: List[str]) -> None:
+    spans = entry.get("spans") or entry.get("phases") or {}
+    caches = entry.get("caches", {})
+    if "total_runs" in entry:
+        lines.append(
+            f"  runs: {entry.get('total_runs', 0)} total, "
+            f"{entry.get('simulated', 0)} simulated, "
+            f"{entry.get('cached', 0)} cached, {entry.get('failed', 0)} failed"
+        )
+    if "elapsed_seconds" in entry:
+        throughput = entry.get("runs_per_second")
+        throughput_text = (
+            f", {throughput:.2f} runs/s" if isinstance(throughput, (int, float)) else ""
+        )
+        lines.append(
+            f"  wall-clock: {float(entry['elapsed_seconds']):.2f}s{throughput_text}"
+        )
+    if spans:
+        lines.append("  phases (wall seconds, share of profiled time, calls):")
+        _render_span_tree(spans, lines, 2, _top_level_seconds(spans))
+    if caches:
+        lines.append("  caches:")
+        _render_counters(caches, lines, 2)
+
+
+def render_metrics(document: Mapping[str, object]) -> str:
+    """Human-readable rendering of any schema-v1 metrics document."""
+    kind = document.get("kind", "snapshot")
+    lines = [f"metrics schema v{document.get('schema_version', '?')} ({kind})"]
+    if kind == "sweep-profile":
+        for entry in document.get("sweeps", []):
+            lines.append("")
+            lines.append(f"sweep {entry.get('pack', '?')}:")
+            _render_one_profile(entry, lines)
+    else:
+        if "scenario_id" in document:
+            lines.append(f"scenario: {document['scenario_id']}")
+        _render_one_profile(document, lines)
+    return "\n".join(lines)
+
+
+__all__ = [
+    "METRICS_KINDS",
+    "METRICS_SCHEMA_VERSION",
+    "cache_hit_ratios",
+    "diff_counters",
+    "hit_ratio",
+    "merge_counters",
+    "merge_spans",
+    "render_metrics",
+    "run_metrics_document",
+    "sweep_metrics_document",
+    "write_metrics_json",
+]

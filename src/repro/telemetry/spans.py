@@ -1,0 +1,207 @@
+"""Hierarchical span recorder: where does the wall-clock of a run go?
+
+A *span* is a named, timed region of code.  Spans nest: entering a span while
+another is active records the inner one as a child of the outer, so the
+recorder accumulates a tree mirroring the call structure — the five pipeline
+stages at the top, trace generation / engine construction / memo evaluation /
+DeepGCN training underneath.  Spans are **aggregated** as they close (total
+seconds + invocation count per tree node), not collected as an event log, so
+profiling a million-run sweep costs a dictionary of a few dozen nodes rather
+than a trace file.
+
+Design constraints, in order:
+
+1. **Identity neutrality.**  Recording only ever *observes* — no span
+   influences seeds, cache decisions, or arithmetic, so results are
+   byte-identical with telemetry on or off (pinned by the golden digest
+   invariance test).
+2. **~0 overhead when disabled.**  Telemetry is off by default; a disabled
+   ``span()`` call is one attribute load, one branch, and a shared no-op
+   context manager — no allocation, no clock read.  Hot loops stay
+   uninstrumented regardless; spans mark phase-level regions only.
+3. **Zero dependencies.**  Pure stdlib (``contextvars`` + ``perf_counter``),
+   importable from every layer without cycles.
+
+The module-level functions operate on one process-global
+:class:`SpanRecorder`.  Worker processes of a sweep each own their global
+recorder; their snapshots are merged by
+:func:`repro.telemetry.metrics.merge_spans`.
+
+Example::
+
+    from repro import telemetry
+
+    telemetry.set_enabled(True)
+    with telemetry.span("replay"):
+        with telemetry.span("engine_build"):
+            ...
+    telemetry.span_snapshot()
+    # {"replay": {"total_s": ..., "count": 1,
+    #             "children": {"engine_build": {...}}}}
+"""
+
+from __future__ import annotations
+
+from contextvars import ContextVar
+from time import perf_counter
+from typing import Dict, Optional
+
+
+class SpanNode:
+    """One node of the aggregated span tree."""
+
+    __slots__ = ("name", "total_s", "count", "children")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.total_s = 0.0
+        self.count = 0
+        self.children: Dict[str, "SpanNode"] = {}
+
+    def child(self, name: str) -> "SpanNode":
+        """Get-or-create the child node ``name``."""
+        node = self.children.get(name)
+        if node is None:
+            node = SpanNode(name)
+            self.children[name] = node
+        return node
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form; the ``children`` key is omitted when empty."""
+        doc: Dict[str, object] = {"total_s": self.total_s, "count": self.count}
+        if self.children:
+            doc["children"] = {
+                name: child.to_dict() for name, child in self.children.items()
+            }
+        return doc
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while recording is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager that times one region into the recorder's tree."""
+
+    __slots__ = ("_recorder", "_name", "_node", "_token", "_start")
+
+    def __init__(self, recorder: "SpanRecorder", name: str) -> None:
+        self._recorder = recorder
+        self._name = name
+
+    def __enter__(self) -> None:
+        recorder = self._recorder
+        parent = recorder._current.get()
+        if parent is None:
+            parent = recorder.root
+        self._node = parent.child(self._name)
+        self._token = recorder._current.set(self._node)
+        self._start = perf_counter()
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        elapsed = perf_counter() - self._start
+        node = self._node
+        node.total_s += elapsed
+        node.count += 1
+        self._recorder._current.reset(self._token)
+        return False
+
+
+class SpanRecorder:
+    """Accumulates a tree of named, timed regions.
+
+    One process-global instance backs the module-level helpers; independent
+    recorders can be constructed for tests.  Nesting is tracked through a
+    :class:`~contextvars.ContextVar`, so concurrent asyncio tasks (a future
+    ``repro serve``) each see their own active-span chain while sharing one
+    aggregate tree.
+    """
+
+    def __init__(self) -> None:
+        self.root = SpanNode("root")
+        self.enabled = False
+        self._current: ContextVar[Optional[SpanNode]] = ContextVar(
+            "repro_current_span", default=None
+        )
+
+    def span(self, name: str):
+        """Context manager timing ``name``; a shared no-op when disabled."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _ActiveSpan(self, name)
+
+    def set_enabled(self, enabled: bool) -> bool:
+        """Switch recording on/off; returns the previous state."""
+        previous = self.enabled
+        self.enabled = bool(enabled)
+        return previous
+
+    def reset(self) -> None:
+        """Drop every recorded span (the enabled flag is untouched)."""
+        self.root = SpanNode("root")
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """The recorded span tree as plain nested dictionaries."""
+        return {name: node.to_dict() for name, node in self.root.children.items()}
+
+
+#: The process-global recorder behind the module-level helpers.
+_RECORDER = SpanRecorder()
+
+
+def recorder() -> SpanRecorder:
+    """The process-global :class:`SpanRecorder`."""
+    return _RECORDER
+
+
+def span(name: str):
+    """Time a region into the global recorder (no-op while disabled)::
+
+        with telemetry.span("schedule"):
+            ...
+    """
+    return _RECORDER.span(name)
+
+
+def set_enabled(enabled: bool) -> bool:
+    """Enable/disable global span recording; returns the previous state."""
+    return _RECORDER.set_enabled(enabled)
+
+
+def is_enabled() -> bool:
+    """Whether global span recording is currently on."""
+    return _RECORDER.enabled
+
+
+def reset_spans() -> None:
+    """Drop every span recorded so far in this process."""
+    _RECORDER.reset()
+
+
+def span_snapshot() -> Dict[str, Dict[str, object]]:
+    """The global recorder's span tree as nested dictionaries."""
+    return _RECORDER.snapshot()
+
+
+__all__ = [
+    "SpanNode",
+    "SpanRecorder",
+    "is_enabled",
+    "recorder",
+    "reset_spans",
+    "set_enabled",
+    "span",
+    "span_snapshot",
+]

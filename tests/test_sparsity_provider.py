@@ -237,7 +237,11 @@ class TestProviders:
         first = provider.measure(dataset)
         again = provider.measure(dataset)
         assert again is first
-        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+        stats = cache.stats()
+        assert (stats["entries"], stats["hits"], stats["misses"]) == (1, 1, 1)
+        assert stats["evictions"] == 0
+        # Harvests report their mask + slice-table footprint to the gauge.
+        assert stats["bytes"] > 0
         other_depth = dataset.with_layers(3)
         assert provider.measure(other_depth) is not first
         assert cache.stats()["misses"] == 2
@@ -399,7 +403,7 @@ class TestSessionIntegration:
         ).model is model
         session.clear_caches()
         assert session.measurement_cache.stats() == {
-            "entries": 0, "hits": 0, "misses": 0,
+            "entries": 0, "hits": 0, "misses": 0, "evictions": 0, "bytes": 0,
         }
 
     def test_measured_mode_works_across_accelerators(self):
