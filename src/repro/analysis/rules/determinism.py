@@ -1,0 +1,257 @@
+"""Determinism rules: the byte-identical-golden-digest contract.
+
+Every result in this repo is pinned by content digests (243 golden design
+digests, scenario ids, trace-cache keys).  Two things break that silently:
+
+* **D1** — random draws from *unseeded* or *global-state* RNGs.  The blessed
+  pattern is ``np.random.default_rng(seed)`` with an explicit seed threaded
+  from the RunSpec (see ``graphs/generators.py``); the legacy
+  ``np.random.*`` module functions and the stdlib ``random`` module share
+  hidden global state that any import can perturb.
+* **D2** — hash/identity construction that iterates a dict or set without
+  ``sorted(...)``.  Dict order is insertion order (an accident of code
+  path), set order is salted per process, and either leaking into
+  ``scenario_id``/fingerprint/cache-key bytes forks the content-addressed
+  store.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List
+
+from repro.analysis.engine import ContextVisitor, Finding, LintModule, Rule
+
+#: ``numpy.random`` attributes that do *not* touch the legacy global state.
+_NP_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+        "RandomState",  # explicit-instance form; seeding is checked at call
+    }
+)
+
+#: stdlib ``random`` module functions drawing from the hidden global RNG.
+_STDLIB_RANDOM_FUNCS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "randbytes",
+        "choice",
+        "choices",
+        "sample",
+        "shuffle",
+        "uniform",
+        "triangular",
+        "betavariate",
+        "expovariate",
+        "gammavariate",
+        "gauss",
+        "lognormvariate",
+        "normalvariate",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+        "getrandbits",
+        "seed",
+    }
+)
+
+_IDENTITY_NAME = re.compile(
+    r"(scenario_id|run_id|fingerprint|digest|cache_key|identity)", re.IGNORECASE
+)
+
+
+def _is_identity_name(name: str) -> bool:
+    return name == "key" or name.endswith("_key") or bool(_IDENTITY_NAME.search(name))
+
+
+def _is_none(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+class UnseededRngRule(Rule):
+    """D1: only explicitly seeded generators may draw random numbers."""
+
+    rule_id = "D1"
+    name = "unseeded-rng"
+    summary = (
+        "no unseeded np.random.*/random.* draws; use "
+        "np.random.default_rng(seed) with an explicit seed"
+    )
+
+    def check_module(self, module: LintModule) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        imports_stdlib_random = module.imports().get("random") == "random"
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = module.resolve(node.func)
+            if resolved is None:
+                continue
+            if resolved.startswith("np.random."):
+                # Unimported shorthand (fixtures, doctest-extracted code).
+                resolved = "numpy" + resolved[len("np") :]
+            if resolved.startswith("numpy.random."):
+                tail = resolved.split(".")[-1]
+                if tail in ("default_rng", "RandomState"):
+                    if not node.args or _is_none(node.args[0]):
+                        findings.append(
+                            self.finding(
+                                module,
+                                node,
+                                f"numpy.random.{tail} without an explicit "
+                                "seed is nondeterministic; thread the run's "
+                                "seed through (the default_rng(seed) pattern "
+                                "in graphs/generators.py)",
+                            )
+                        )
+                elif tail not in _NP_RANDOM_ALLOWED:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"numpy.random.{tail} draws from the hidden "
+                            "global RNG; use np.random.default_rng(seed)",
+                        )
+                    )
+            elif resolved.startswith("random.") and resolved.count(".") == 1:
+                tail = resolved.split(".")[-1]
+                named_directly = isinstance(node.func, ast.Name)
+                if tail in _STDLIB_RANDOM_FUNCS and (
+                    imports_stdlib_random or named_directly
+                ):
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            f"random.{tail} uses the stdlib's process-global "
+                            "RNG; use np.random.default_rng(seed)",
+                        )
+                    )
+                elif tail == "Random" and not node.args and imports_stdlib_random:
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            "random.Random() without an explicit seed is "
+                            "nondeterministic",
+                        )
+                    )
+        return iter(findings)
+
+
+class _IdentityIterationVisitor(ContextVisitor):
+    def __init__(self, rule: "UnsortedIdentityIterationRule", module: LintModule):
+        super().__init__()
+        self.rule = rule
+        self.module = module
+        self.findings: List[Finding] = []
+
+    # ------------------------------------------------------------------ #
+    def _in_identity_function(self) -> bool:
+        return any(_is_identity_name(fn.name) for fn in self.function_stack)
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append(self.rule.finding(self.module, node, message))
+
+    def _directly_sorted(self, node: ast.AST) -> bool:
+        parent = self.module.parent(node)
+        return (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id == "sorted"
+        )
+
+    # ------------------------------------------------------------------ #
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._in_identity_function():
+            resolved = self.module.resolve(node.func)
+            if resolved == "json.dumps":
+                sort_keys = next(
+                    (
+                        keyword.value
+                        for keyword in node.keywords
+                        if keyword.arg == "sort_keys"
+                    ),
+                    None,
+                )
+                if not (
+                    isinstance(sort_keys, ast.Constant) and sort_keys.value is True
+                ):
+                    self._flag(
+                        node,
+                        "json.dumps in an identity/digest function must pass "
+                        "sort_keys=True, or dict insertion order leaks into "
+                        "the digest",
+                    )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("items", "keys", "values")
+                and not node.args
+                and not self._directly_sorted(node)
+            ):
+                self._flag(
+                    node,
+                    f".{node.func.attr}() feeding an identity/digest "
+                    "function must be wrapped in sorted(...): dict order is "
+                    "an accident of code path, not part of the identity",
+                )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------ #
+    def _check_iteration(self, iter_node: ast.expr) -> None:
+        if not self._in_identity_function():
+            return
+        if isinstance(iter_node, ast.Set):
+            self._flag(
+                iter_node,
+                "iterating a set literal in an identity/digest function is "
+                "order-salted per process; sort it first",
+            )
+        elif (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Name)
+            and iter_node.func.id in ("set", "frozenset")
+        ):
+            self._flag(
+                iter_node,
+                f"iterating {iter_node.func.id}(...) in an identity/digest "
+                "function is order-salted per process; sort it first",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+
+class UnsortedIdentityIterationRule(Rule):
+    """D2: identity/digest construction must not depend on dict/set order."""
+
+    rule_id = "D2"
+    name = "unsorted-identity-iteration"
+    summary = (
+        "identity/digest functions (key, *_key, scenario_id, fingerprint, "
+        "digest) must sort dict/set iteration and json.dumps(sort_keys=True)"
+    )
+
+    def check_module(self, module: LintModule) -> Iterator[Finding]:
+        visitor = _IdentityIterationVisitor(self, module)
+        visitor.visit(module.tree)
+        return iter(visitor.findings)
+
+
+__all__ = ["UnseededRngRule", "UnsortedIdentityIterationRule"]

@@ -1,0 +1,138 @@
+"""General safety rules: patterns that corrupt state or swallow failures.
+
+* **S1** — mutable default arguments.  A shared ``[]``/``{}`` default is
+  cross-call state: the first sweep that appends to it poisons every later
+  call in the process (and every later scenario in a worker).
+* **S2** — bare ``except:``.  Catches ``KeyboardInterrupt``/``SystemExit``
+  too, so a sweep that should abort keeps running with half-updated state;
+  the repo's convention is ``except Exception`` with an explanatory noqa
+  where isolation is the point (see ``runner._execute_payload``).
+* **S3** — ``object.__setattr__`` on frozen dataclasses outside
+  ``__post_init__``.  Frozen dataclasses are hashed and cached by identity
+  fields; mutating one after construction silently invalidates every cache
+  key and golden digest derived from it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.analysis.engine import ContextVisitor, Finding, LintModule, Rule
+
+#: Callables whose results are mutable containers.
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "OrderedDict", "Counter", "deque"}
+)
+
+
+def _mutable_default(node: ast.expr) -> Optional[str]:
+    """Describe ``node`` if it is a mutable default value, else ``None``."""
+    if isinstance(node, ast.List):
+        return "[]"
+    if isinstance(node, ast.Dict):
+        return "{}"
+    if isinstance(node, ast.Set):
+        return "{...}"
+    if isinstance(node, ast.Call):
+        dotted = node.func
+        name = dotted.id if isinstance(dotted, ast.Name) else None
+        if name in _MUTABLE_FACTORIES:
+            return f"{name}()"
+    return None
+
+
+class MutableDefaultArgRule(Rule):
+    """S1: no mutable default arguments."""
+
+    rule_id = "S1"
+    name = "mutable-default-arg"
+    summary = "no mutable default arguments ([]/{}/set()); default to None"
+
+    def check_module(self, module: LintModule) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                description = _mutable_default(default)
+                if description is not None:
+                    findings.append(
+                        self.finding(
+                            module,
+                            default,
+                            f"mutable default {description} on {node.name}() "
+                            "is shared across calls (and across pool-worker "
+                            "scenarios); default to None and build inside",
+                        )
+                    )
+        return iter(findings)
+
+
+class BareExceptRule(Rule):
+    """S2: no bare ``except:`` clauses."""
+
+    rule_id = "S2"
+    name = "bare-except"
+    summary = "no bare except:; catch Exception (or narrower) explicitly"
+
+    def check_module(self, module: LintModule) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        "bare except: swallows KeyboardInterrupt/SystemExit; "
+                        "catch Exception (or narrower) explicitly",
+                    )
+                )
+        return iter(findings)
+
+
+class _FrozenSetattrVisitor(ContextVisitor):
+    def __init__(self, rule: "FrozenSetattrRule", module: LintModule):
+        super().__init__()
+        self.rule = rule
+        self.module = module
+        self.findings: List[Finding] = []
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.module.resolve(node.func) == "object.__setattr__":
+            function = self.current_function
+            if function is None or function.name != "__post_init__":
+                where = function.name + "()" if function else "module scope"
+                self.findings.append(
+                    self.rule.finding(
+                        self.module,
+                        node,
+                        "object.__setattr__ outside __post_init__ (in "
+                        f"{where}) mutates a frozen dataclass after its "
+                        "hash/cache identity was minted; derive a new "
+                        "instance instead",
+                    )
+                )
+        self.generic_visit(node)
+
+
+class FrozenSetattrRule(Rule):
+    """S3: frozen dataclasses are only written during ``__post_init__``."""
+
+    rule_id = "S3"
+    name = "frozen-setattr-outside-post-init"
+    summary = (
+        "object.__setattr__ only inside __post_init__; frozen instances "
+        "are immutable once their identity exists"
+    )
+
+    def check_module(self, module: LintModule) -> Iterator[Finding]:
+        visitor = _FrozenSetattrVisitor(self, module)
+        visitor.visit(module.tree)
+        return iter(visitor.findings)
+
+
+__all__ = ["BareExceptRule", "FrozenSetattrRule", "MutableDefaultArgRule"]

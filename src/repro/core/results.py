@@ -11,7 +11,7 @@ speedups and traffic ratios the paper's figures report.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -173,7 +173,7 @@ class LayerResult:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, object]) -> "LayerResult":
+    def from_dict(cls, data: Dict[str, Any]) -> "LayerResult":
         """Rebuild a layer result produced by :meth:`to_dict`."""
         return cls(
             layer_index=int(data["layer_index"]),
@@ -283,7 +283,7 @@ class SimulationResult:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, object]) -> "SimulationResult":
+    def from_dict(cls, data: Dict[str, Any]) -> "SimulationResult":
         """Rebuild a result produced by :meth:`to_dict`."""
         return cls(
             accelerator=str(data["accelerator"]),
@@ -356,7 +356,7 @@ class ComparisonResult:
         }
 
     @classmethod
-    def from_dict(cls, data: Dict[str, object]) -> "ComparisonResult":
+    def from_dict(cls, data: Dict[str, Any]) -> "ComparisonResult":
         """Rebuild a comparison produced by :meth:`to_dict`."""
         comparison = cls(
             dataset=str(data["dataset"]),

@@ -30,7 +30,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.accelerator.design import DESIGN_KNOBS
 from repro.accelerator.registry import ACCELERATORS, resolve_design
@@ -68,7 +68,7 @@ SUPPORTED_OVERRIDES: Tuple[str, ...] = (
 )
 
 
-def _normalise_overrides(overrides: Mapping[str, object]) -> Dict[str, object]:
+def _normalise_overrides(overrides: Mapping[str, Any]) -> Dict[str, object]:
     """Validate override keys and return a plain, sorted dictionary."""
     unknown = sorted(set(overrides) - set(SUPPORTED_OVERRIDES))
     if unknown:
@@ -80,7 +80,7 @@ def _normalise_overrides(overrides: Mapping[str, object]) -> Dict[str, object]:
 
 
 def build_config(
-    overrides: Mapping[str, object], base: Optional[SystemConfig] = None
+    overrides: Mapping[str, Any], base: Optional[SystemConfig] = None
 ) -> SystemConfig:
     """Apply flat override keys to a base :class:`SystemConfig`.
 
@@ -373,7 +373,7 @@ class RunSpec:
         return data
 
     @classmethod
-    def from_dict(cls, data: Mapping[str, object]) -> "RunSpec":
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
         """Rebuild a spec produced by :meth:`to_dict`."""
         raw_format = data.get("feature_format")
         raw_design = data.get("design")

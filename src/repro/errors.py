@@ -48,3 +48,11 @@ class DatasetError(ReproError):
     """Raised when a named dataset is unknown or its generation parameters
     are inconsistent (e.g. more edges requested than a simple graph allows).
     """
+
+
+class AnalysisError(ReproError):
+    """Raised when the static-analysis gate (:mod:`repro.analysis`) cannot
+    run as requested: an unknown rule id, a lint target that does not exist,
+    or an unreadable source file.  Findings are *not* errors — they are
+    reported through :class:`repro.analysis.engine.Finding` records.
+    """

@@ -327,6 +327,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.set_defaults(func=_cmd_bench)
 
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the AST invariant linter (see INVARIANTS.md)",
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files/directories to lint (default: src)",
+    )
+    lint_parser.add_argument(
+        "--rule",
+        dest="rules",
+        action="append",
+        default=[],
+        metavar="RULE",
+        help="only run this rule id/name (repeatable; default: the full battery)",
+    )
+    lint_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the versioned lint-findings JSON document instead of text",
+    )
+    lint_parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the active rule battery and exit",
+    )
+    lint_parser.set_defaults(func=_cmd_lint)
+
     stats_parser = subparsers.add_parser(
         "stats", help="pretty-print a metrics.json telemetry document"
     )
@@ -533,11 +563,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"sweep {spec.name}: {len(scenarios)} scenarios, "
             f"{args.workers} worker(s), out={pack_dir}"
         )
-        pack_started = time.perf_counter()
+        pack_started = time.perf_counter()  # repro: noqa[N1] progress-line ETA only; never enters results
 
         def progress(outcome: RunOutcome, finished: int, total: int) -> None:
             status = "cached" if outcome.cached else ("ok" if outcome.ok else "FAILED")
-            elapsed = time.perf_counter() - pack_started
+            elapsed = time.perf_counter() - pack_started  # repro: noqa[N1] progress-line ETA only; never enters results
             if 0 < finished < total and elapsed > 0:
                 eta = f"  eta {_format_eta(elapsed / finished * (total - finished))}"
             else:
@@ -635,6 +665,32 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: the linter is a dev-facing tool; keep `repro run`
+    # startup free of it.
+    from repro.analysis import (
+        findings_document,
+        get_rules,
+        render_findings,
+        render_summary,
+        run_lint,
+    )
+
+    rules = get_rules(args.rules or None)
+    if args.list_rules:
+        for rule in rules:
+            OUT.data(f"{rule.rule_id:<4} {rule.name:<34} {rule.summary}")
+        return 0
+    report = run_lint(args.paths, rules=rules)
+    if args.json:
+        OUT.data(json.dumps(findings_document(report), indent=2, sort_keys=True))
+    else:
+        for line in render_findings(report):
+            OUT.data(line)
+        OUT.info(render_summary(report))
+    return 0 if report.ok else 1
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     path = Path(args.metrics)
     if not path.is_file():
@@ -674,7 +730,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         configure_logging(level)
     except ValueError as exc:  # unreachable via argparse choices; env handled inside
-        print(f"error: {exc}", file=sys.stderr)
+        OUT.error(f"error: {exc}")
         return 2
     OUT.quiet = args.quiet
     try:
@@ -688,7 +744,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        OUT.error(f"error: {exc}")
         return 2
 
 

@@ -103,7 +103,7 @@ def _execute_payload(
     if profile:
         previous_enabled = set_enabled(True)
         reset_spans()
-    started = time.perf_counter()
+    started = time.perf_counter()  # repro: noqa[N1] run/sweep wall-clock reporting; never enters simulated results
     try:
         result = run_scenario(scenario, session=session)
         payload: Dict[str, object] = {"ok": True, "result": result.to_dict()}
@@ -117,7 +117,7 @@ def _execute_payload(
             },
         }
     finally:
-        payload_elapsed = time.perf_counter() - started
+        payload_elapsed = time.perf_counter() - started  # repro: noqa[N1] run/sweep wall-clock reporting; never enters simulated results
         if profile:
             telemetry = {
                 "spans": span_snapshot(),
@@ -138,7 +138,7 @@ def _worker_execute(
 ) -> Tuple[int, Dict[str, object]]:
     """Pool entry point: run one scenario, never raise."""
     index, scenario_dict, profile = payload
-    started = time.perf_counter()
+    started = time.perf_counter()  # repro: noqa[N1] run/sweep wall-clock reporting; never enters simulated results
     try:
         scenario = Scenario.from_dict(scenario_dict)
     except Exception as exc:  # noqa: BLE001 — a bad payload must not kill the pool
@@ -149,7 +149,7 @@ def _worker_execute(
                 "message": str(exc),
                 "traceback": traceback.format_exc(),
             },
-            "elapsed_s": time.perf_counter() - started,
+            "elapsed_s": time.perf_counter() - started,  # repro: noqa[N1] run/sweep wall-clock reporting; never enters simulated results
         }
     return index, _execute_payload(_worker_session(), scenario, profile)
 
@@ -320,7 +320,7 @@ class SweepRunner:
         worker completion order.  ``progress`` (if given) is called once per
         finished scenario with ``(outcome, finished_count, total)``.
         """
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: noqa[N1] run/sweep wall-clock reporting; never enters simulated results
         total = len(scenarios)
         outcomes: List[Optional[RunOutcome]] = [None] * total
         finished = 0
@@ -350,7 +350,7 @@ class SweepRunner:
         assert all(outcome is not None for outcome in outcomes)
         return SweepReport(
             outcomes=[outcome for outcome in outcomes if outcome is not None],
-            elapsed_s=time.perf_counter() - started,
+            elapsed_s=time.perf_counter() - started,  # repro: noqa[N1] run/sweep wall-clock reporting; never enters simulated results
         )
 
     # ------------------------------------------------------------------ #

@@ -24,7 +24,8 @@ a per-run attribution wants.
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Mapping, Optional
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
 
 #: Schema version of every metrics document (``metrics.json``, worker
 #: telemetry payloads, ``Session.metrics_snapshot()``).
@@ -38,8 +39,8 @@ METRICS_KINDS = ("snapshot", "run-profile", "sweep-profile")
 # Dictionary algebra
 # --------------------------------------------------------------------------- #
 def merge_spans(
-    base: Dict[str, Dict[str, object]], extra: Mapping[str, Mapping[str, object]]
-) -> Dict[str, Dict[str, object]]:
+    base: Dict[str, Dict[str, Any]], extra: Mapping[str, Mapping[str, Any]]
+) -> Dict[str, Dict[str, Any]]:
     """Merge span tree ``extra`` into ``base`` (summing times/counts) and
     return ``base``.  Both trees use the :meth:`SpanNode.to_dict` shape."""
     for name, node in extra.items():
@@ -59,8 +60,8 @@ def merge_spans(
 
 
 def merge_counters(
-    base: Dict[str, object], extra: Mapping[str, object]
-) -> Dict[str, object]:
+    base: Dict[str, Any], extra: Mapping[str, Any]
+) -> Dict[str, Any]:
     """Recursively sum numeric leaves of ``extra`` into ``base``; returns ``base``."""
     for key, value in extra.items():
         if isinstance(value, Mapping):
@@ -75,10 +76,10 @@ def merge_counters(
 
 
 def diff_counters(
-    before: Mapping[str, object], after: Mapping[str, object]
-) -> Dict[str, object]:
+    before: Mapping[str, Any], after: Mapping[str, Any]
+) -> Dict[str, Any]:
     """Numeric leaf-wise ``after - before`` (recursive; keys from ``after``)."""
-    delta: Dict[str, object] = {}
+    delta: Dict[str, Any] = {}
     for key, value in after.items():
         if isinstance(value, Mapping):
             delta[key] = diff_counters(
@@ -95,7 +96,7 @@ def diff_counters(
     return delta
 
 
-def hit_ratio(counters: Mapping[str, object]) -> Optional[float]:
+def hit_ratio(counters: Mapping[str, Any]) -> Optional[float]:
     """``hits / (hits + misses)`` of one counter block; ``None`` if untouched."""
     hits = counters.get("hits", 0)
     misses = counters.get("misses", 0)
@@ -108,7 +109,7 @@ def hit_ratio(counters: Mapping[str, object]) -> Optional[float]:
 
 
 def cache_hit_ratios(
-    caches: Mapping[str, Mapping[str, object]]
+    caches: Mapping[str, Mapping[str, Any]]
 ) -> Dict[str, Optional[float]]:
     """Per-cache hit ratios of a ``caches`` counter block."""
     return {name: hit_ratio(block) for name, block in caches.items()}
@@ -118,10 +119,10 @@ def cache_hit_ratios(
 # Documents
 # --------------------------------------------------------------------------- #
 def run_metrics_document(
-    snapshot: Mapping[str, object], scenario_id: Optional[str] = None
-) -> Dict[str, object]:
+    snapshot: Mapping[str, Any], scenario_id: Optional[str] = None
+) -> Dict[str, Any]:
     """``metrics.json`` document of one profiled ``repro run``."""
-    document: Dict[str, object] = {
+    document: Dict[str, Any] = {
         "schema_version": METRICS_SCHEMA_VERSION,
         "kind": "run-profile",
         "spans": snapshot.get("spans", {}),
@@ -133,7 +134,7 @@ def run_metrics_document(
     return document
 
 
-def sweep_metrics_document(sweeps: List[Dict[str, object]]) -> Dict[str, object]:
+def sweep_metrics_document(sweeps: List[Dict[str, Any]]) -> Dict[str, Any]:
     """``metrics.json`` document of one profiled ``repro sweep`` invocation.
 
     ``sweeps`` holds one per-pack aggregate each, as produced by
@@ -146,10 +147,8 @@ def sweep_metrics_document(sweeps: List[Dict[str, object]]) -> Dict[str, object]
     }
 
 
-def write_metrics_json(path, document: Mapping[str, object]) -> None:
+def write_metrics_json(path: Union[str, Path], document: Mapping[str, Any]) -> None:
     """Write a metrics document (stable key order for golden diffs)."""
-    from pathlib import Path
-
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
@@ -159,7 +158,7 @@ def write_metrics_json(path, document: Mapping[str, object]) -> None:
 # Rendering (the ``repro stats`` view)
 # --------------------------------------------------------------------------- #
 def _render_span_tree(
-    spans: Mapping[str, Mapping[str, object]],
+    spans: Mapping[str, Mapping[str, Any]],
     lines: List[str],
     indent: int,
     total_s: float,
@@ -178,7 +177,7 @@ def _render_span_tree(
 
 
 def _render_counters(
-    caches: Mapping[str, Mapping[str, object]], lines: List[str], indent: int
+    caches: Mapping[str, Mapping[str, Any]], lines: List[str], indent: int
 ) -> None:
     for name, block in sorted(caches.items()):
         ratio = hit_ratio(block)
@@ -191,11 +190,11 @@ def _render_counters(
         lines.append(f"{'  ' * indent}{name:<14}{ratio_text}  [{detail}]")
 
 
-def _top_level_seconds(spans: Mapping[str, Mapping[str, object]]) -> float:
+def _top_level_seconds(spans: Mapping[str, Mapping[str, Any]]) -> float:
     return sum(float(node.get("total_s", 0.0)) for node in spans.values())
 
 
-def _render_one_profile(entry: Mapping[str, object], lines: List[str]) -> None:
+def _render_one_profile(entry: Mapping[str, Any], lines: List[str]) -> None:
     spans = entry.get("spans") or entry.get("phases") or {}
     caches = entry.get("caches", {})
     if "total_runs" in entry:
@@ -220,7 +219,7 @@ def _render_one_profile(entry: Mapping[str, object], lines: List[str]) -> None:
         _render_counters(caches, lines, 2)
 
 
-def render_metrics(document: Mapping[str, object]) -> str:
+def render_metrics(document: Mapping[str, Any]) -> str:
     """Human-readable rendering of any schema-v1 metrics document."""
     kind = document.get("kind", "snapshot")
     lines = [f"metrics schema v{document.get('schema_version', '?')} ({kind})"]

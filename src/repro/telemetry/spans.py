@@ -44,7 +44,7 @@ from __future__ import annotations
 
 from contextvars import ContextVar
 from time import perf_counter
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 
 class SpanNode:
@@ -136,7 +136,7 @@ class SpanRecorder:
             "repro_current_span", default=None
         )
 
-    def span(self, name: str):
+    def span(self, name: str) -> Union["_NullSpan", "_ActiveSpan"]:
         """Context manager timing ``name``; a shared no-op when disabled."""
         if not self.enabled:
             return _NULL_SPAN
@@ -166,7 +166,7 @@ def recorder() -> SpanRecorder:
     return _RECORDER
 
 
-def span(name: str):
+def span(name: str) -> Union["_NullSpan", "_ActiveSpan"]:
     """Time a region into the global recorder (no-op while disabled)::
 
         with telemetry.span("schedule"):

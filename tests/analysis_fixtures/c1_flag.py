@@ -1,0 +1,22 @@
+"""Should-flag fixture for C1: the consumer reads keys no producer writes.
+
+``_finish`` reads ``payload["elapsed"]`` (never produced — the real key is
+``elapsed_s``-style) and ``error.get("traceback")`` (the error dict literal
+only carries ``type``/``message``).
+"""
+
+
+def _execute_payload(request):
+    payload = {
+        "ok": True,
+        "result": request,
+        "error": {"type": "", "message": ""},
+    }
+    return payload
+
+
+def _finish(payload):
+    if payload.get("ok"):
+        return payload["result"]
+    error = payload.get("error")
+    return payload["elapsed"], error.get("traceback")

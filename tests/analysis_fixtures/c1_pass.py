@@ -1,0 +1,18 @@
+"""Should-pass fixture for C1: every consumed key is produced."""
+
+
+def _execute_payload(request):
+    payload = {
+        "ok": True,
+        "result": request,
+        "elapsed": 0.0,
+        "error": {"type": "", "message": "", "traceback": ""},
+    }
+    return payload
+
+
+def _finish(payload):
+    if payload.get("ok"):
+        return payload["result"]
+    error = payload.get("error")
+    return payload["elapsed"], error.get("traceback")

@@ -1,0 +1,12 @@
+"""Should-flag fixture for D1 (unseeded-rng): three unseeded draws."""
+
+import random
+
+import numpy as np
+
+
+def sample():
+    rng = np.random.default_rng()
+    values = np.random.rand(3)
+    random.shuffle(values)
+    return rng, values

@@ -1,0 +1,11 @@
+"""Should-pass fixture for D1 (unseeded-rng): every generator is seeded."""
+
+import random
+
+import numpy as np
+
+
+def sample(seed):
+    rng = np.random.default_rng(seed)
+    shuffler = random.Random(seed)
+    return rng, shuffler

@@ -1,0 +1,11 @@
+"""Should-flag fixture for D2: unsorted iteration inside an identity path."""
+
+import hashlib
+import json
+
+
+def scenario_id(payload):
+    blob = json.dumps(payload)
+    for key, value in payload.items():
+        blob += f"{key}={value}"
+    return hashlib.sha256(blob.encode()).hexdigest()

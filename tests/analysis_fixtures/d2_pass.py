@@ -1,0 +1,11 @@
+"""Should-pass fixture for D2: identity path hashes sorted, canonical JSON."""
+
+import hashlib
+import json
+
+
+def scenario_id(payload):
+    blob = json.dumps(payload, sort_keys=True)
+    for key, value in sorted(payload.items()):
+        blob += f"{key}={value}"
+    return hashlib.sha256(blob.encode()).hexdigest()

@@ -1,0 +1,8 @@
+"""Should-flag fixture for N1: wall-clock read outside telemetry//bench/."""
+
+import time
+
+
+def run():
+    started = time.perf_counter()
+    return started

@@ -1,0 +1,8 @@
+"""Suppression fixture: same violation as n1_flag, silenced with a reason."""
+
+import time
+
+
+def run():
+    started = time.perf_counter()  # repro: noqa[N1] fixture: progress ETA only
+    return started

@@ -1,0 +1,5 @@
+"""Should-flag fixture for N2: a stray print outside the CLI funnel."""
+
+
+def announce(message):
+    print(message)

@@ -1,0 +1,6 @@
+"""Should-pass fixture for N2: printing is confined to an OutputWriter."""
+
+
+class OutputWriter:
+    def data(self, message):
+        print(message)

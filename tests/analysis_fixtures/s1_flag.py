@@ -1,0 +1,6 @@
+"""Should-flag fixture for S1: mutable default argument."""
+
+
+def collect(items=[]):
+    items.append(1)
+    return items

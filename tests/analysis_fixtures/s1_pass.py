@@ -1,0 +1,8 @@
+"""Should-pass fixture for S1: None default, allocated per call."""
+
+
+def collect(items=None):
+    if items is None:
+        items = []
+    items.append(1)
+    return items

@@ -1,0 +1,8 @@
+"""Should-flag fixture for S2: bare except swallowing everything."""
+
+
+def safe_div(a, b):
+    try:
+        return a / b
+    except:
+        return None

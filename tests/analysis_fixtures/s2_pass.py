@@ -1,0 +1,8 @@
+"""Should-pass fixture for S2: the exception type is named."""
+
+
+def safe_div(a, b):
+    try:
+        return a / b
+    except ZeroDivisionError:
+        return None

@@ -1,0 +1,11 @@
+"""Should-flag fixture for S3: frozen-dataclass mutation outside __post_init__."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Point:
+    x: int
+
+    def shift(self, dx):
+        object.__setattr__(self, "x", self.x + dx)

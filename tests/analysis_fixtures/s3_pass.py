@@ -1,0 +1,12 @@
+"""Should-pass fixture for S3: the blessed __post_init__ derived-field write."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Point:
+    x: int
+    doubled: int = field(init=False)
+
+    def __post_init__(self):
+        object.__setattr__(self, "doubled", self.x * 2)

@@ -1,0 +1,8 @@
+"""Should-pass fixture for N1: the same timing call, but under telemetry/."""
+
+import time
+
+
+def run():
+    started = time.perf_counter()
+    return started

@@ -1,0 +1,8 @@
+"""Should-flag fixture for W1: module-global write outside a blessed setter."""
+
+_MODE = "fast"
+
+
+def tweak():
+    global _MODE
+    _MODE = "slow"

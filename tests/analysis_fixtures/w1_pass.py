@@ -1,0 +1,8 @@
+"""Should-pass fixture for W1: the same write, inside a blessed ``set_`` setter."""
+
+_MODE = "fast"
+
+
+def set_mode(mode):
+    global _MODE
+    _MODE = mode

@@ -1,0 +1,136 @@
+"""Engine mechanics: noqa parsing, suppression, discovery, rule selection."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import get_rules, run_lint
+from repro.analysis.engine import (
+    Finding,
+    iter_python_files,
+    load_module,
+    parse_noqa,
+)
+from repro.analysis.rules import ALL_RULES, RULE_IDS
+from repro.errors import AnalysisError
+
+FIXTURES = Path(__file__).resolve().parent / "analysis_fixtures"
+
+
+# --------------------------------------------------------------------------- #
+# noqa parsing and suppression
+# --------------------------------------------------------------------------- #
+def test_parse_noqa_single_rule():
+    table = parse_noqa("x = 1  # repro: noqa[N1] progress ETA only\n")
+    assert table == {1: frozenset({"n1"})}
+
+
+def test_parse_noqa_comma_separated_and_names():
+    table = parse_noqa("y = 2  # repro: noqa[D1, unsorted-identity-iteration]\n")
+    assert table == {1: frozenset({"d1", "unsorted-identity-iteration"})}
+
+
+def test_parse_noqa_is_case_insensitive():
+    table = parse_noqa("z = 3  # REPRO: NOQA[n2]\n")
+    assert table == {1: frozenset({"n2"})}
+
+
+def test_noqa_inside_string_literal_does_not_suppress():
+    table = parse_noqa('text = "# repro: noqa[N1]"\n')
+    assert table == {}
+
+
+def test_suppression_matches_rule_id_and_name():
+    module = load_module(FIXTURES / "n1_noqa.py")
+    line = next(iter(module.noqa))
+    by_id = Finding(module.display_path, line, 1, "N1", "whatever", "m")
+    by_name = Finding(
+        module.display_path, line, 1, "ZZ", "timing-outside-telemetry", "m"
+    )
+    other = Finding(module.display_path, line, 1, "D1", "unseeded-rng", "m")
+    assert module.suppressed(by_id)
+    assert not module.suppressed(by_name)  # noqa names only N1
+    assert not module.suppressed(other)
+
+
+def test_noqa_on_a_different_line_does_not_suppress():
+    module = load_module(FIXTURES / "n1_noqa.py")
+    line = next(iter(module.noqa))
+    finding = Finding(module.display_path, line + 1, 1, "N1", "n", "m")
+    assert not module.suppressed(finding)
+
+
+# --------------------------------------------------------------------------- #
+# file discovery and parse errors
+# --------------------------------------------------------------------------- #
+def test_iter_python_files_walks_sorted_and_deduped():
+    files = iter_python_files([FIXTURES, FIXTURES / "d1_flag.py"])
+    assert [str(path) for path in files] == sorted(str(path) for path in files)
+    names = [path.name for path in files]
+    assert names.count("d1_flag.py") == 1
+    assert "n1_pass.py" in names  # the telemetry/ subdirectory is walked
+    assert "e0_parse_error.txt" not in names  # only *.py from directories
+
+
+def test_iter_python_files_skips_hidden_and_cache_dirs(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "ok.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "__pycache__").mkdir()
+    (tmp_path / "pkg" / "__pycache__" / "skip.py").write_text("x = 1\n")
+    (tmp_path / ".hidden").mkdir()
+    (tmp_path / ".hidden" / "skip.py").write_text("x = 1\n")
+    files = iter_python_files([tmp_path])
+    assert [path.name for path in files] == ["ok.py"]
+
+
+def test_missing_target_raises():
+    with pytest.raises(AnalysisError, match="does not exist"):
+        iter_python_files([FIXTURES / "no_such_file.py"])
+
+
+def test_unparseable_file_becomes_an_e0_finding():
+    report = run_lint([FIXTURES / "e0_parse_error.txt"], get_rules())
+    assert len(report.findings) == 1
+    finding = report.findings[0]
+    assert finding.rule == "E0"
+    assert finding.name == "parse-error"
+    assert "does not parse" in finding.message
+    assert len(report.files) == 1  # unparseable files still count as checked
+
+
+# --------------------------------------------------------------------------- #
+# rule selection and report bookkeeping
+# --------------------------------------------------------------------------- #
+def test_battery_has_at_least_eight_rules_with_unique_ids():
+    assert len(ALL_RULES) >= 8
+    assert len(set(RULE_IDS)) == len(RULE_IDS)
+    for rule in ALL_RULES:
+        assert rule.rule_id and rule.name and rule.summary
+
+
+def test_get_rules_selects_by_id_and_name():
+    by_id = get_rules(["D1"])
+    by_name = get_rules(["unseeded-rng"])
+    assert [rule.rule_id for rule in by_id] == ["D1"]
+    assert [rule.rule_id for rule in by_name] == ["D1"]
+    assert get_rules(["d1", "N2"]) == get_rules(["D1", "print-outside-writer"])
+
+
+def test_get_rules_unknown_rule_raises():
+    with pytest.raises(AnalysisError, match="unknown lint rule"):
+        get_rules(["bogus"])
+
+
+def test_counts_lists_every_active_rule():
+    report = run_lint([FIXTURES / "d1_pass.py"], get_rules())
+    counts = report.counts()
+    assert set(counts) == set(RULE_IDS)
+    assert all(value == 0 for value in counts.values())
+
+
+def test_findings_are_sorted_by_location():
+    report = run_lint([FIXTURES], get_rules())
+    keys = [finding.sort_key() for finding in report.findings]
+    assert keys == sorted(keys)

@@ -1,0 +1,53 @@
+"""Golden pin of the lint-findings JSON schema (v1).
+
+Like the BENCH v2 and metrics v1 documents, ``repro lint --json`` output is a
+published artifact (CI uploads it), so its shape is frozen here: the document
+key set, the per-finding field set, and the rule id/name battery.  Changing
+any of these requires bumping ``LINT_SCHEMA_VERSION`` *and* regenerating
+``tests/golden_lint_schema.json`` deliberately.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis import (
+    ALL_RULES,
+    LINT_DOCUMENT_KIND,
+    LINT_SCHEMA_VERSION,
+    findings_document,
+    get_rules,
+    run_lint,
+)
+
+GOLDEN = Path(__file__).resolve().parent / "golden_lint_schema.json"
+FIXTURES = Path(__file__).resolve().parent / "analysis_fixtures"
+
+
+def test_lint_schema_matches_golden():
+    golden = json.loads(GOLDEN.read_text())
+    report = run_lint([FIXTURES / "n2_flag.py"], get_rules())
+    document = findings_document(report)
+
+    assert golden["schema_version"] == LINT_SCHEMA_VERSION
+    assert golden["kind"] == LINT_DOCUMENT_KIND
+    assert document["schema_version"] == golden["schema_version"]
+    assert document["kind"] == golden["kind"]
+    assert sorted(document) == golden["document_keys"]
+    for finding in document["findings"]:
+        assert sorted(finding) == golden["finding_fields"]
+    for rule in document["rules"]:
+        assert sorted(rule) == golden["rule_fields"]
+    assert [
+        {"id": rule.rule_id, "name": rule.name} for rule in ALL_RULES
+    ] == golden["rules"]
+
+
+def test_document_counts_cover_every_rule():
+    report = run_lint([FIXTURES / "s1_pass.py"], get_rules())
+    document = findings_document(report)
+    golden = json.loads(GOLDEN.read_text())
+    assert sorted(document["counts"]) == sorted(
+        rule["id"] for rule in golden["rules"]
+    )

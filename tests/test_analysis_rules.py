@@ -1,0 +1,80 @@
+"""Per-rule coverage: every rule flags its bad fixture and passes its twin."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import get_rules, run_lint
+
+FIXTURES = Path(__file__).resolve().parent / "analysis_fixtures"
+
+#: rule id -> (flag fixture, pass fixture, expected finding count on flag)
+PAIRS = {
+    "D1": ("d1_flag.py", "d1_pass.py", 3),
+    "D2": ("d2_flag.py", "d2_pass.py", 2),
+    "N1": ("n1_flag.py", "telemetry/n1_pass.py", 1),
+    "N2": ("n2_flag.py", "n2_pass.py", 1),
+    "W1": ("w1_flag.py", "w1_pass.py", 1),
+    "S1": ("s1_flag.py", "s1_pass.py", 1),
+    "S2": ("s2_flag.py", "s2_pass.py", 1),
+    "S3": ("s3_flag.py", "s3_pass.py", 1),
+    "C1": ("c1_flag.py", "c1_pass.py", 2),
+}
+
+
+@pytest.mark.parametrize("rule_id", sorted(PAIRS))
+def test_rule_flags_bad_fixture(rule_id):
+    flag, _, expected = PAIRS[rule_id]
+    report = run_lint([FIXTURES / flag], get_rules([rule_id]))
+    assert not report.ok
+    assert len(report.findings) == expected
+    assert {finding.rule for finding in report.findings} == {rule_id}
+    for finding in report.findings:
+        assert finding.line > 0 and finding.col > 0
+        assert finding.message
+
+
+@pytest.mark.parametrize("rule_id", sorted(PAIRS))
+def test_pass_fixture_is_clean_under_full_battery(rule_id):
+    _, passes, _ = PAIRS[rule_id]
+    report = run_lint([FIXTURES / passes], get_rules())
+    assert report.ok, [finding.location() for finding in report.findings]
+
+
+def test_d1_names_the_unseeded_calls():
+    report = run_lint([FIXTURES / "d1_flag.py"], get_rules(["D1"]))
+    messages = " ".join(finding.message for finding in report.findings)
+    assert "numpy.random.default_rng" in messages
+    assert "numpy.random.rand" in messages
+    assert "random.shuffle" in messages
+
+
+def test_c1_reports_the_missing_keys():
+    report = run_lint([FIXTURES / "c1_flag.py"], get_rules(["C1"]))
+    messages = " ".join(finding.message for finding in report.findings)
+    assert "'elapsed'" in messages
+    assert "'traceback'" in messages
+
+
+def test_c1_stays_silent_without_both_endpoints():
+    # A lone consumer (or producer) must not arm the contract check.
+    report = run_lint([FIXTURES / "d1_pass.py"], get_rules(["C1"]))
+    assert report.ok
+
+
+def test_noqa_fixture_suppresses_the_n1_finding():
+    flagged = run_lint([FIXTURES / "n1_flag.py"], get_rules(["N1"]))
+    silenced = run_lint([FIXTURES / "n1_noqa.py"], get_rules(["N1"]))
+    assert len(flagged.findings) == 1
+    assert silenced.ok
+
+
+def test_whole_fixture_directory_is_noisy():
+    # The flag fixtures dominate: a directory walk must find all of them
+    # (and skip the explicit-only .txt parse-error fixture).
+    report = run_lint([FIXTURES], get_rules())
+    expected = sum(count for _, _, count in PAIRS.values())
+    assert len(report.findings) == expected
+    assert all(finding.rule != "E0" for finding in report.findings)

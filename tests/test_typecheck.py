@@ -1,0 +1,39 @@
+"""The mypy gate, runnable wherever mypy is installed (CI always is).
+
+The container used for simulation work may not carry mypy; in that case the
+test skips and CI remains the enforcement point (job ``lint-and-types``).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytest.importorskip("mypy")
+
+REPO = Path(__file__).resolve().parents[1]
+
+CHECKED_PACKAGES = ("repro.core", "repro.telemetry", "repro.analysis")
+
+
+def test_mypy_gate_passes():
+    command = [
+        sys.executable,
+        "-m",
+        "mypy",
+        "--config-file",
+        str(REPO / "mypy.ini"),
+    ]
+    for package in CHECKED_PACKAGES:
+        command.extend(["-p", package])
+    completed = subprocess.run(
+        command,
+        cwd=str(REPO),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    assert completed.returncode == 0, completed.stdout
