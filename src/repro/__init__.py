@@ -24,6 +24,9 @@ Compressed-Sparse Features in Deep Graph Convolutional Network Accelerators"
 * ``repro.bench`` — the ``repro bench`` performance harness comparing the
   vectorized engine against the legacy path and recording ``BENCH_*.json``
   trajectory documents.
+* ``repro.resilience`` — deterministic fault injection, retry/timeout
+  execution policies, sweep checkpointing, and graceful degradation for
+  long sweeps.
 
 Quickstart::
 
@@ -72,13 +75,26 @@ from repro.experiments.spec import Scenario, SweepSpec
 from repro.experiments.store import ResultStore
 from repro.graphs.datasets import load_dataset, available_datasets
 from repro import telemetry
+from repro.resilience import (
+    ExecutionPolicy,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    SweepCheckpoint,
+    TimeoutPolicy,
+    faults_scope,
+    load_fault_plan,
+)
 from repro.errors import (
     ConfigurationError,
     DatasetError,
+    FaultInjectionError,
     FormatError,
     GraphError,
     ReproError,
+    RunTimeoutError,
     SimulationError,
+    SparsityHarvestError,
 )
 
 __version__ = "1.0.0"
@@ -138,11 +154,22 @@ __all__ = [
     "load_dataset",
     "available_datasets",
     "telemetry",
+    "ExecutionPolicy",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "SweepCheckpoint",
+    "TimeoutPolicy",
+    "faults_scope",
+    "load_fault_plan",
     "ReproError",
     "ConfigurationError",
     "GraphError",
     "FormatError",
     "SimulationError",
     "DatasetError",
+    "FaultInjectionError",
+    "RunTimeoutError",
+    "SparsityHarvestError",
     "__version__",
 ]

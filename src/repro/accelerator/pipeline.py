@@ -27,8 +27,9 @@ state from anywhere but the design point.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
@@ -45,7 +46,7 @@ from repro.accelerator.tiling import (
 )
 from repro.core.config import CACHELINE_BYTES, ELEMENT_BYTES, SystemConfig
 from repro.core.results import LayerResult, SimulationResult, TrafficBreakdown
-from repro.errors import SimulationError
+from repro.errors import FaultInjectionError, SimulationError
 from repro.formats.base import FeatureFormat, bytes_to_lines
 from repro.gcn.providers import SparsityProvider, SyntheticSparsityProvider
 from repro.graphs.datasets import Dataset
@@ -54,7 +55,33 @@ from repro.memory.dram import DRAMModel, TrafficPattern
 from repro.memory.energy import EnergyTable
 from repro.memory.replay import ReplayEngine, TraceCache, array_token
 from repro.memory.rowcache import RowCache, RowCacheStats
+from repro.resilience.faults import fault_point
+from repro.resilience.policy import check_deadline
 from repro.telemetry.spans import span
+
+logger = logging.getLogger(__name__)
+
+_CacheValue = TypeVar("_CacheValue")
+
+
+def _trace_cache_get(
+    cache: TraceCache,
+    key: Tuple,
+    builder: "Callable[[], _CacheValue]",
+) -> "_CacheValue":
+    """Trace-cache lookup that degrades to uncached execution.
+
+    The ``cache:trace`` fault site models the shared memo becoming
+    unavailable; an injected failure (or, defensively, any cache-layer
+    fault) falls back to calling ``builder`` directly — slower, never
+    wrong — instead of failing the run.
+    """
+    try:
+        fault_point("cache:trace")
+    except FaultInjectionError as exc:
+        logger.warning("trace cache unavailable (%s); building uncached", exc)
+        return builder()
+    return cache.get(key, builder)
 
 
 # --------------------------------------------------------------------------- #
@@ -231,7 +258,7 @@ class RunContext:
                     array_token(self.pinned_vertices) if self.pinned_vertices.size else None
                 )
                 key = ("engine",) + self.trace_token + (pinned_token,)
-                self.replay_engine = self.trace_cache.get(key, builder)
+                self.replay_engine = _trace_cache_get(self.trace_cache, key, builder)
             else:
                 self.replay_engine = builder()
         return self.replay_engine
@@ -244,7 +271,9 @@ class RunContext:
             builder = lambda: ReplayEngine(self.trace)
             if self.trace_cache is not None and self.trace_token is not None:
                 key = ("engine",) + self.trace_token + (None,)
-                self.replay_engine_full = self.trace_cache.get(key, builder)
+                self.replay_engine_full = _trace_cache_get(
+                    self.trace_cache, key, builder
+                )
             else:
                 self.replay_engine_full = builder()
         return self.replay_engine_full
@@ -299,7 +328,8 @@ def build_context(
     graph = dataset.graph
     if design.reorders_graph:
         if trace_cache is not None:
-            graph = trace_cache.get(
+            graph = _trace_cache_get(
+                trace_cache,
                 ("reordered", graph.fingerprint()),
                 lambda: _reordered_for_locality(graph),
             )
@@ -311,7 +341,9 @@ def build_context(
         # so the random feature accesses follow A^T.
         if trace_cache is not None:
             base = graph
-            graph = trace_cache.get(("transposed", base.fingerprint()), base.transpose)
+            graph = _trace_cache_get(
+                trace_cache, ("transposed", base.fingerprint()), base.transpose
+            )
         else:
             graph = graph.transpose()
 
@@ -465,7 +497,9 @@ def schedule(context: RunContext) -> RunContext:
                 )
 
         if context.trace_cache is not None:
-            trace = context.trace_cache.get(("trace",) + trace_token, build)
+            trace = _trace_cache_get(
+                context.trace_cache, ("trace",) + trace_token, build
+            )
         else:
             trace = build()
 
@@ -1134,6 +1168,8 @@ def simulate_design(
         context = build_context(
             design, fmt, dataset, config, trace_cache, sparsity=sparsity
         )
+    check_deadline("schedule")
+    fault_point("stage:schedule")
     with span("schedule"):
         context = schedule(context)
     return complete_run(
@@ -1158,10 +1194,14 @@ def complete_run(
     customise) the context themselves — e.g. legacy ``_build_context``
     overrides — can still finish the run through the shared pipeline.
     """
+    check_deadline("replay")
+    fault_point("stage:replay")
     with span("replay"):
         replayed = replay(context, workloads, seed, max_sampled_layers)
+    check_deadline("timing")
     with span("timing"):
         timed = timing(context, replayed)
+    check_deadline("energy")
     with span("energy"):
         layers = energy(context, timed)
 

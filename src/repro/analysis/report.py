@@ -13,7 +13,9 @@ from typing import Dict, List
 from repro.analysis.engine import LintReport
 
 #: Schema version of the ``repro lint --json`` findings document.
-LINT_SCHEMA_VERSION = 1
+#: v2: rule battery gained R1 (ad-hoc-retry); S2 additionally flags
+#: swallowed ``except BaseException`` handlers.
+LINT_SCHEMA_VERSION = 2
 
 #: ``kind`` value of the findings document.
 LINT_DOCUMENT_KIND = "lint-findings"

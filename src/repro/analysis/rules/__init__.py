@@ -1,7 +1,8 @@
 """The rule battery: every invariant the lint gate enforces.
 
 Rules are instantiated once, in a stable order (determinism, neutrality,
-worker safety, general safety, contracts); ``repro lint`` runs all of them
+worker safety, general safety, contracts, resilience); ``repro lint`` runs
+all of them
 unless ``--rule`` narrows the set.  INVARIANTS.md catalogues what each rule
 protects and how to suppress it.
 """
@@ -20,6 +21,7 @@ from repro.analysis.rules.neutrality import (
     PrintOutsideWriterRule,
     TimingOutsideTelemetryRule,
 )
+from repro.analysis.rules.resilience import AdHocRetryRule
 from repro.analysis.rules.safety import (
     BareExceptRule,
     FrozenSetattrRule,
@@ -39,6 +41,7 @@ ALL_RULES: Tuple[Rule, ...] = (
     BareExceptRule(),
     FrozenSetattrRule(),
     WorkerPayloadContractRule(),
+    AdHocRetryRule(),
 )
 
 #: Short ids of the active battery, in order.
@@ -74,6 +77,7 @@ def get_rules(selection: Optional[Sequence[str]] = None) -> List[Rule]:
 __all__ = [
     "ALL_RULES",
     "RULE_IDS",
+    "AdHocRetryRule",
     "BareExceptRule",
     "FrozenSetattrRule",
     "MutableDefaultArgRule",

@@ -5,10 +5,10 @@ byte-identical with spans on).  Two leak vectors are mechanical enough to
 lint:
 
 * **N1** — wall-clock reads (``time.time``/``perf_counter``/``monotonic``)
-  outside the observability layers (``telemetry/``, ``bench/``).  A timing
-  call in simulation code is either dead weight or — worse — an input to a
-  result.  Intentional CLI progress/ETA timing carries an explicit
-  ``# repro: noqa[N1]`` with its reason.
+  outside the layers that own timing (``telemetry/``, ``bench/``,
+  ``resilience/``).  A timing call in simulation code is either dead weight
+  or — worse — an input to a result.  Intentional CLI progress/ETA timing
+  carries an explicit ``# repro: noqa[N1]`` with its reason.
 * **N2** — ``print(...)`` outside the CLI's ``OutputWriter`` and
   ``telemetry.logs``.  Everything else narrates through the ``repro.*``
   logger, so ``--quiet`` and machine-readable stdout stay trustworthy.
@@ -35,8 +35,10 @@ _TIMING_CALLS = frozenset(
     }
 )
 
-#: Path components whose modules own wall-clock access.
-_TIMING_ALLOWED_COMPONENTS = frozenset({"telemetry", "bench"})
+#: Path components whose modules own wall-clock access.  ``resilience`` is
+#: timing infrastructure by definition (deadlines, backoff, reclamation);
+#: none of it ever enters a simulated result.
+_TIMING_ALLOWED_COMPONENTS = frozenset({"telemetry", "bench", "resilience"})
 
 #: Class whose methods are the CLI's one print funnel.
 _PRINT_FUNNEL_CLASS = "OutputWriter"

@@ -1,0 +1,86 @@
+"""Resilience rules: failure handling goes through the policy layer.
+
+* **R1** — ad-hoc waiting/retrying outside ``repro.resilience``.  Two
+  patterns are flagged:
+
+  - ``time.sleep(...)`` anywhere except under a ``resilience/`` path
+    component.  Sleeps in simulation or orchestration code are either a
+    hand-rolled backoff (use :class:`repro.resilience.policy.RetryPolicy` —
+    its ``sleep_before`` is the one blessed sleep of the execution stack)
+    or dead wall-clock weight that slows sweeps for nothing.
+  - ``while True:`` loops whose ``try`` handler ends in ``continue`` — an
+    unbounded retry loop with no attempt budget.  A transient error then
+    spins forever instead of failing the run after ``max_attempts``.
+
+  Both carry the usual escape hatch: ``# repro: noqa[R1] reason`` on the
+  reported line when a sleep/loop is genuinely not a retry (rare).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, List
+
+from repro.analysis.engine import Finding, LintModule, Rule
+
+#: Path components whose modules own sleeping (the policy layer itself).
+_SLEEP_ALLOWED_COMPONENTS = frozenset({"resilience"})
+
+
+def _path_components(module: LintModule) -> FrozenSet[str]:
+    return frozenset(module.path.parts)
+
+
+def _handler_retries_forever(loop: ast.While) -> bool:
+    """Whether ``loop`` is ``while True`` retrying via ``except: continue``."""
+    if not (isinstance(loop.test, ast.Constant) and loop.test.value is True):
+        return False
+    for statement in loop.body:
+        if not isinstance(statement, ast.Try):
+            continue
+        for handler in statement.handlers:
+            if handler.body and isinstance(handler.body[-1], ast.Continue):
+                return True
+    return False
+
+
+class AdHocRetryRule(Rule):
+    """R1: no sleeps or unbounded retry loops outside ``repro.resilience``."""
+
+    rule_id = "R1"
+    name = "ad-hoc-retry"
+    summary = (
+        "no time.sleep or while-True/except-continue retry loops outside "
+        "resilience/; use RetryPolicy (bounded attempts, seeded backoff)"
+    )
+
+    def check_module(self, module: LintModule) -> Iterator[Finding]:
+        if _SLEEP_ALLOWED_COMPONENTS & _path_components(module):
+            return iter(())
+        findings: List[Finding] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                if module.resolve(node.func) == "time.sleep":
+                    findings.append(
+                        self.finding(
+                            module,
+                            node,
+                            "time.sleep outside resilience/ is a hand-rolled "
+                            "backoff; route waiting through "
+                            "RetryPolicy.sleep_before (bounded, seeded)",
+                        )
+                    )
+            elif isinstance(node, ast.While) and _handler_retries_forever(node):
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        "while True with an except handler ending in "
+                        "continue retries without an attempt budget; use "
+                        "RetryPolicy.should_retry to bound it",
+                    )
+                )
+        return iter(findings)
+
+
+__all__ = ["AdHocRetryRule"]

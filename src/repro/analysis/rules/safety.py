@@ -3,10 +3,13 @@
 * **S1** — mutable default arguments.  A shared ``[]``/``{}`` default is
   cross-call state: the first sweep that appends to it poisons every later
   call in the process (and every later scenario in a worker).
-* **S2** — bare ``except:``.  Catches ``KeyboardInterrupt``/``SystemExit``
-  too, so a sweep that should abort keeps running with half-updated state;
-  the repo's convention is ``except Exception`` with an explanatory noqa
-  where isolation is the point (see ``runner._execute_payload``).
+* **S2** — bare ``except:`` / swallowed ``except BaseException:``.  Both
+  catch ``KeyboardInterrupt``/``SystemExit``, so a sweep that should abort
+  keeps running with half-updated state.  The repo's convention is ``except
+  Exception`` with an explanatory noqa where isolation is the point (see
+  ``runner._execute_payload``); ``except BaseException`` is tolerated only
+  in cleanup handlers whose last statement re-raises (the atomic-write
+  pattern in ``experiments.store`` / ``resilience.checkpoint``).
 * **S3** — ``object.__setattr__`` on frozen dataclasses outside
   ``__post_init__``.  Frozen dataclasses are hashed and cached by identity
   fields; mutating one after construction silently invalidates every cache
@@ -72,23 +75,56 @@ class MutableDefaultArgRule(Rule):
         return iter(findings)
 
 
+def _mentions_base_exception(node: Optional[ast.expr]) -> bool:
+    """Whether an except clause's type names ``BaseException``."""
+    if isinstance(node, ast.Name):
+        return node.id == "BaseException"
+    if isinstance(node, ast.Tuple):
+        return any(_mentions_base_exception(element) for element in node.elts)
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler's last statement is a bare ``raise``."""
+    return (
+        bool(handler.body)
+        and isinstance(handler.body[-1], ast.Raise)
+        and handler.body[-1].exc is None
+    )
+
+
 class BareExceptRule(Rule):
-    """S2: no bare ``except:`` clauses."""
+    """S2: no bare ``except:`` or swallowed ``except BaseException:``."""
 
     rule_id = "S2"
     name = "bare-except"
-    summary = "no bare except:; catch Exception (or narrower) explicitly"
+    summary = (
+        "no bare except:, and except BaseException must end in a bare "
+        "raise; catch Exception (or narrower) explicitly"
+    )
 
     def check_module(self, module: LintModule) -> Iterator[Finding]:
         findings: List[Finding] = []
         for node in ast.walk(module.tree):
-            if isinstance(node, ast.ExceptHandler) and node.type is None:
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
                 findings.append(
                     self.finding(
                         module,
                         node,
                         "bare except: swallows KeyboardInterrupt/SystemExit; "
                         "catch Exception (or narrower) explicitly",
+                    )
+                )
+            elif _mentions_base_exception(node.type) and not _reraises(node):
+                findings.append(
+                    self.finding(
+                        module,
+                        node,
+                        "except BaseException without a trailing bare raise "
+                        "swallows KeyboardInterrupt/SystemExit; re-raise "
+                        "after cleanup or catch Exception instead",
                     )
                 )
         return iter(findings)

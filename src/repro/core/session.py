@@ -40,6 +40,7 @@ Example::
 
 from __future__ import annotations
 
+import logging
 from collections import OrderedDict
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -49,7 +50,7 @@ from repro.accelerator.simulator import GCN_VARIANTS, AcceleratorModel
 from repro.core.config import SystemConfig
 from repro.core.results import ComparisonResult, SimulationResult
 from repro.core.runspec import RunSpec, build_config
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import ConfigurationError, SimulationError, SparsityHarvestError
 from repro.formats.registry import FORMATS
 from repro.gcn.providers import (
     MeasuredSparsityCache,
@@ -60,8 +61,11 @@ from repro.gcn.providers import (
 from repro.graphs.datasets import DEFAULT_NUM_LAYERS, Dataset
 from repro.graphs.datasets import load_dataset as _load_dataset
 from repro.memory.replay import ReplayEngine, TraceCache
+from repro.resilience.policy import active_policy
 from repro.telemetry.metrics import METRICS_SCHEMA_VERSION
 from repro.telemetry.spans import is_enabled, span_snapshot
+
+logger = logging.getLogger(__name__)
 
 #: ``progress`` callback signature of :meth:`Session.run_many`:
 #: ``(index, spec, result)``.
@@ -427,15 +431,39 @@ class Session:
         effective = self._effective_config(
             spec, config if config is not None else self.base_config
         )
-        result = model.simulate(
-            dataset_obj,
-            config=effective,
-            variant=spec.variant,
-            max_sampled_layers=spec.max_sampled_layers,
-            seed=spec.seed,
-            trace_cache=self._traces,
-            sparsity=self.sparsity_provider(spec.sparsity),
-        )
+        try:
+            result = model.simulate(
+                dataset_obj,
+                config=effective,
+                variant=spec.variant,
+                max_sampled_layers=spec.max_sampled_layers,
+                seed=spec.seed,
+                trace_cache=self._traces,
+                sparsity=self.sparsity_provider(spec.sparsity),
+            )
+        except SparsityHarvestError as exc:
+            # Graceful degradation: when an ExecutionPolicy permitting it is
+            # active (sweeps arm one), a failed measured harvest falls back
+            # to the synthetic provider instead of failing the run.  Library
+            # callers with no policy keep the raise — silent fallback would
+            # change what "measured" means.
+            policy = active_policy()
+            if policy is None or not policy.degrade:
+                raise
+            logger.warning(
+                "degrading %s to synthetic sparsity: %s", spec.scenario_id, exc
+            )
+            result = model.simulate(
+                dataset_obj,
+                config=effective,
+                variant=spec.variant,
+                max_sampled_layers=spec.max_sampled_layers,
+                seed=spec.seed,
+                trace_cache=self._traces,
+                sparsity=self.sparsity_provider("synthetic"),
+            )
+            result.metadata["degraded"] = True
+            result.metadata["degraded_reason"] = str(exc)
         if annotate:
             result.metadata["scenario_id"] = spec.scenario_id
             result.metadata["scenario"] = spec.to_dict()

@@ -56,3 +56,32 @@ class AnalysisError(ReproError):
     or an unreadable source file.  Findings are *not* errors — they are
     reported through :class:`repro.analysis.engine.Finding` records.
     """
+
+
+class SparsityHarvestError(ReproError):
+    """Raised when the measured-sparsity provider cannot harvest tables for
+    a dataset (GCN training divergence, a corrupted measurement cache, or an
+    injected fault).  :meth:`repro.core.session.Session.run` downgrades this
+    to a synthetic-sparsity fallback when a degradation-permitting
+    :class:`repro.resilience.policy.ExecutionPolicy` is active.
+    """
+
+
+class FaultInjectionError(ReproError):
+    """Raised by an armed :class:`repro.resilience.faults.FaultPlan` at a
+    matching :func:`~repro.resilience.faults.fault_point`.  Never raised in
+    production paths — a plan only triggers when a test or the
+    ``--inject-faults`` CLI flag armed one.
+    """
+
+    def __init__(self, site: str, message: str = "") -> None:
+        self.site = site
+        super().__init__(message or f"injected fault at {site}")
+
+
+class RunTimeoutError(ReproError):
+    """Raised when a run exceeds the wall-clock budget of an active
+    :class:`repro.resilience.policy.TimeoutPolicy` — cooperatively at a
+    pipeline stage boundary on the serial path, or via pool-result
+    reclamation on the worker path.
+    """

@@ -6,7 +6,8 @@ declarative layer the paper's evaluation needs:
 * :mod:`repro.experiments.spec` — :class:`Scenario` / :class:`SweepSpec`
   dataclasses that expand axes into a validated cartesian grid of runs;
 * :mod:`repro.experiments.runner` — :class:`SweepRunner`, a multiprocessing
-  executor with per-run error isolation;
+  executor with per-run error isolation, retry/timeout policies, worker-death
+  recovery, and sweep checkpointing (see :mod:`repro.resilience`);
 * :mod:`repro.experiments.store` — :class:`ResultStore`, a content-addressed
   on-disk result cache, plus JSON/CSV exporters;
 * :mod:`repro.experiments.scenarios` — built-in packs reproducing the

@@ -61,6 +61,9 @@ from repro.experiments.store import (
     summary_row,
 )
 from repro.graphs.datasets import DATASET_SPECS, DEFAULT_NUM_LAYERS
+from repro.resilience.checkpoint import CHECKPOINT_FILENAME
+from repro.resilience.faults import FaultPlan, faults_scope, load_fault_plan
+from repro.resilience.policy import ExecutionPolicy, RetryPolicy, TimeoutPolicy
 from repro.telemetry.logs import LOG_LEVELS, configure_logging
 from repro.telemetry.metrics import (
     METRICS_SCHEMA_VERSION,
@@ -214,6 +217,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="metrics.json",
         help="where --profile writes the metrics document (default: metrics.json)",
     )
+    run_parser.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC.json",
+        help=(
+            "arm a deterministic fault plan (testing/chaos only; see "
+            "repro.resilience.faults) around the run"
+        ),
+    )
     run_parser.set_defaults(func=_cmd_run)
 
     sweep_parser = subparsers.add_parser(
@@ -266,6 +278,65 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out",
         default=None,
         help="where --profile writes the metrics document (default: <out>/metrics.json)",
+    )
+    sweep_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "consult the pack's checkpoint.json and the result cache; "
+            "previously completed scenarios are not re-simulated"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=8,
+        metavar="N",
+        help="flush the sweep checkpoint every N outcomes (default: 8)",
+    )
+    sweep_parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "retry failed runs up to N extra attempts with deterministic "
+            "exponential backoff (default: 0 — fail on the first error)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="base backoff before the first retry (default: 0.05s)",
+    )
+    sweep_parser.add_argument(
+        "--run-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-run wall-clock budget: cooperative deadline at stage "
+            "boundaries, plus parent-side task reclamation on worker pools"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help=(
+            "fail runs instead of degrading them (no synthetic-sparsity "
+            "fallback, store errors become fatal)"
+        ),
+    )
+    sweep_parser.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC.json",
+        help=(
+            "arm a deterministic fault plan (testing/chaos only; see "
+            "repro.resilience.faults) in every worker"
+        ),
     )
     sweep_parser.set_defaults(func=_cmd_sweep)
 
@@ -495,12 +566,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         sparsity=args.sparsity,
     )
     session = default_session()
+    fault_plan: Optional[FaultPlan] = None
+    if args.inject_faults is not None:
+        fault_plan = load_fault_plan(args.inject_faults)
+        OUT.info(f"armed fault plan from {args.inject_faults}")
     previous_enabled: Optional[bool] = None
     if args.profile:
         previous_enabled = set_enabled(True)
         reset_spans()
     try:
-        result = run_scenario(scenario, session=session)
+        with faults_scope(fault_plan):
+            result = run_scenario(scenario, session=session)
     finally:
         if args.profile:
             document = run_metrics_document(
@@ -552,13 +628,36 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if not args.no_cache:
         cache_dir = Path(args.cache_dir) if args.cache_dir else out_root / ".cache"
         store = ResultStore(cache_dir)
-    runner = SweepRunner(store=store, workers=args.workers, profile=args.profile)
+
+    retry: Optional[RetryPolicy] = None
+    if args.retries > 0:
+        retry = RetryPolicy(
+            max_attempts=args.retries + 1, backoff_base_s=args.retry_backoff
+        )
+    timeout: Optional[TimeoutPolicy] = None
+    if args.run_timeout is not None:
+        timeout = TimeoutPolicy(run_timeout_s=args.run_timeout)
+    policy = ExecutionPolicy(retry=retry, timeout=timeout, degrade=not args.no_degrade)
+    faults: Optional[FaultPlan] = None
+    if args.inject_faults is not None:
+        faults = load_fault_plan(args.inject_faults)
+        OUT.info(f"armed fault plan from {args.inject_faults}")
 
     exit_code = 0
     sweep_documents: List[Dict[str, object]] = []
     for spec in specs:
         scenarios = spec.expand()
         pack_dir = out_root / spec.name
+        runner = SweepRunner(
+            store=store,
+            workers=args.workers,
+            profile=args.profile,
+            policy=policy,
+            faults=faults,
+            checkpoint_path=str(pack_dir / CHECKPOINT_FILENAME),
+            checkpoint_interval=args.checkpoint_interval,
+            resume=args.resume,
+        )
         OUT.info(
             f"sweep {spec.name}: {len(scenarios)} scenarios, "
             f"{args.workers} worker(s), out={pack_dir}"
@@ -566,7 +665,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         pack_started = time.perf_counter()  # repro: noqa[N1] progress-line ETA only; never enters results
 
         def progress(outcome: RunOutcome, finished: int, total: int) -> None:
-            status = "cached" if outcome.cached else ("ok" if outcome.ok else "FAILED")
+            if outcome.cached:
+                status = "cached"
+            elif not outcome.ok:
+                status = "TIMEOUT" if outcome.timed_out else "FAILED"
+            elif outcome.degraded:
+                status = "degraded"
+            else:
+                status = "ok"
             elapsed = time.perf_counter() - pack_started  # repro: noqa[N1] progress-line ETA only; never enters results
             if 0 < finished < total and elapsed > 0:
                 eta = f"  eta {_format_eta(elapsed / finished * (total - finished))}"
@@ -574,7 +680,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 eta = ""
             OUT.info(
                 f"  [{finished:>{len(str(total))}}/{total}] "
-                f"{status:<6} {outcome.scenario.label()}{eta}"
+                f"{status:<8} {outcome.scenario.label()}{eta}"
             )
 
         report = runner.run(scenarios, progress=progress)
@@ -595,12 +701,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             csv_path = export_summary_csv(pack_dir / "summary.csv", rows)
             export_summary_json(pack_dir / "summary.json", rows)
             OUT.info(f"  wrote {len(rows)} scenario JSON files and {csv_path}")
-        OUT.info(
+        footer = (
             f"  done in {report.elapsed_seconds:.1f}s "
             f"({report.runs_per_second:.2f} runs/s): "
             f"{report.num_simulated} simulated, "
             f"{report.num_cached} cache hits, {report.num_failed} failed"
         )
+        if report.num_degraded:
+            footer += f", {report.num_degraded} degraded"
+        if report.num_timed_out:
+            footer += f", {report.num_timed_out} timed out"
+        if report.num_retried:
+            footer += f", {report.num_retried} retried"
+        OUT.info(footer)
         if args.profile:
             sweep_documents.append(report.metrics_document(pack=spec.name))
         for outcome in report.failures:

@@ -5,11 +5,11 @@ objects into :class:`RunOutcome` records:
 
 * cached scenarios are answered from the :class:`ResultStore` without
   touching the worker pool (incremental re-runs are near-no-ops);
-* the remaining scenarios are dispatched to a ``multiprocessing`` pool in
-  chunks; scenarios cross the process boundary as plain dictionaries and
-  results come back as ``to_dict()`` payloads, so the parent reconstructs
-  identical :class:`SimulationResult` objects whether a run happened
-  in-process (``workers=1``) or in a worker;
+* the remaining scenarios are dispatched to a ``multiprocessing`` pool in a
+  bounded window of ``apply_async`` tasks; scenarios cross the process
+  boundary as plain dictionaries and results come back as ``to_dict()``
+  payloads, so the parent reconstructs identical :class:`SimulationResult`
+  objects whether a run happened in-process (``workers=1``) or in a worker;
 * each worker run is wrapped in its own try/except, so one failing scenario
   reports an error outcome instead of killing the sweep.
 
@@ -21,6 +21,16 @@ run carries its own telemetry delta (span tree + cache-counter changes, see
 :mod:`repro.telemetry`).  The parent merges the per-run deltas into the sweep
 aggregate exposed by :meth:`SweepReport.metrics_document`.
 
+Failure handling is declarative (:mod:`repro.resilience`): an
+:class:`~repro.resilience.policy.ExecutionPolicy` governs per-run retries
+(deterministic backoff), wall-clock budgets (cooperative deadline in the
+worker, ``AsyncResult`` reclamation in the parent), and graceful degradation
+(measured-sparsity fallback, store failures downgraded to misses).  A
+SIGKILLed pool worker is detected through the pool's pid set; its in-flight
+scenarios are re-dispatched on the serial path instead of hanging the sweep.
+An optional :class:`~repro.resilience.checkpoint.SweepCheckpoint` records
+per-scenario accounting so ``--resume`` can skip completed work.
+
 Everything the simulation depends on is seeded from the scenario, so serial
 and parallel sweeps of the same spec produce identical summaries.
 """
@@ -31,14 +41,24 @@ import logging
 import multiprocessing
 import time
 import traceback
+from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.results import SimulationResult
 from repro.core.session import Session, default_session
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, RunTimeoutError
 from repro.experiments.spec import Scenario
 from repro.experiments.store import ResultStore
+from repro.resilience.checkpoint import SweepCheckpoint
+from repro.resilience.faults import (
+    FaultPlan,
+    active_faults,
+    arm_faults,
+    disarm_faults,
+    fault_point,
+)
+from repro.resilience.policy import ExecutionPolicy, deadline_scope, policy_scope
 from repro.telemetry.metrics import (
     cache_hit_ratios,
     diff_counters,
@@ -50,6 +70,9 @@ from repro.telemetry.spans import reset_spans, set_enabled, span_snapshot
 logger = logging.getLogger(__name__)
 
 ProgressCallback = Callable[["RunOutcome", int, int], None]
+
+#: Parent-side poll interval while waiting on pool completions (seconds).
+_POOL_POLL_S = 0.05
 
 
 def run_scenario(
@@ -82,40 +105,76 @@ def _worker_session() -> Session:
     return _WORKER_SESSION
 
 
+def _error_block(exc: BaseException) -> Dict[str, object]:
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": traceback.format_exc(),
+    }
+
+
 def _execute_payload(
-    session: Session, scenario: Scenario, profile: bool
+    session: Session,
+    scenario: Scenario,
+    profile: bool,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> Dict[str, object]:
     """Run one scenario and build the wire payload (serial and pool path).
 
     Success payloads carry the result as a ``to_dict()`` document; failures
     carry a structured ``{"type", "message", "traceback"}`` error block.
-    Under ``profile=True`` the payload additionally ships a ``telemetry``
-    delta: the span tree recorded during this run plus the change in the
-    session's cache counters — both attributable to exactly this scenario,
-    so the parent can merge worker telemetry without double counting.
+    Every payload reports ``attempts`` (total tries under the policy's
+    :class:`~repro.resilience.policy.RetryPolicy`), ``timed_out`` (the final
+    failure was a blown wall-clock budget), and ``degraded`` (the run fell
+    back to synthetic sparsity).  Under ``profile=True`` the payload
+    additionally ships a ``telemetry`` delta: the span tree recorded during
+    this run plus the change in the session's cache counters — both
+    attributable to exactly this scenario, so the parent can merge worker
+    telemetry without double counting.
 
     Only ordinary :class:`Exception` is isolated: KeyboardInterrupt /
     SystemExit must still abort the sweep (especially in serial mode, where
     this runs in the main process).
     """
+    if policy is None:
+        policy = ExecutionPolicy()
+    retry = policy.retry
     before = session.metrics_snapshot()["caches"] if profile else None
     previous_enabled: Optional[bool] = None
     if profile:
         previous_enabled = set_enabled(True)
         reset_spans()
     started = time.perf_counter()  # repro: noqa[N1] run/sweep wall-clock reporting; never enters simulated results
+    attempts = 0
+    timed_out = False
+    degraded = False
     try:
-        result = run_scenario(scenario, session=session)
-        payload: Dict[str, object] = {"ok": True, "result": result.to_dict()}
-    except Exception as exc:  # noqa: BLE001 — isolation is the point
-        payload = {
-            "ok": False,
-            "error": {
-                "type": type(exc).__name__,
-                "message": str(exc),
-                "traceback": traceback.format_exc(),
-            },
-        }
+        with policy_scope(policy):
+            while True:
+                attempts += 1
+                try:
+                    fault_point("worker:execute")
+                    with deadline_scope(policy.run_timeout_s):
+                        result = run_scenario(scenario, session=session)
+                except Exception as exc:  # noqa: BLE001 — isolation is the point
+                    if retry is not None and retry.should_retry(exc, attempts):
+                        logger.warning(
+                            "retrying %s after %s: %s (attempt %d/%d)",
+                            scenario.label(),
+                            type(exc).__name__,
+                            exc,
+                            attempts,
+                            retry.max_attempts,
+                        )
+                        retry.sleep_before(attempts, scenario.scenario_id)
+                    else:
+                        timed_out = isinstance(exc, RunTimeoutError)
+                        payload = {"ok": False, "error": _error_block(exc)}
+                        break
+                else:
+                    degraded = bool(result.metadata.get("degraded", False))
+                    payload = {"ok": True, "result": result.to_dict()}
+                    break
     finally:
         payload_elapsed = time.perf_counter() - started  # repro: noqa[N1] run/sweep wall-clock reporting; never enters simulated results
         if profile:
@@ -128,30 +187,49 @@ def _execute_payload(
             reset_spans()
             set_enabled(previous_enabled)
     payload["elapsed_s"] = payload_elapsed
+    payload["attempts"] = attempts
+    payload["timed_out"] = timed_out
+    payload["degraded"] = degraded
     if profile:
         payload["telemetry"] = telemetry
     return payload
 
 
 def _worker_execute(
-    payload: Tuple[int, Dict[str, object], bool]
+    payload: Tuple[
+        int,
+        Dict[str, object],
+        bool,
+        Optional[Dict[str, object]],
+        Optional[Dict[str, object]],
+    ]
 ) -> Tuple[int, Dict[str, object]]:
-    """Pool entry point: run one scenario, never raise."""
-    index, scenario_dict, profile = payload
+    """Pool entry point: run one scenario, never raise.
+
+    The wire tuple carries the scenario plus the sweep's fault plan and
+    execution policy as plain dictionaries.  The fault plan is armed once
+    per worker *process* (fresh counters — injection schedules are
+    per-worker deterministic); the policy is rebuilt per task.
+    """
+    index, scenario_dict, profile, plan_dict, policy_dict = payload
+    if plan_dict is not None and active_faults() is None:
+        arm_faults(FaultPlan.from_dict(plan_dict))
+    policy = (
+        ExecutionPolicy.from_dict(policy_dict) if policy_dict is not None else None
+    )
     started = time.perf_counter()  # repro: noqa[N1] run/sweep wall-clock reporting; never enters simulated results
     try:
         scenario = Scenario.from_dict(scenario_dict)
     except Exception as exc:  # noqa: BLE001 — a bad payload must not kill the pool
         return index, {
             "ok": False,
-            "error": {
-                "type": type(exc).__name__,
-                "message": str(exc),
-                "traceback": traceback.format_exc(),
-            },
+            "error": _error_block(exc),
             "elapsed_s": time.perf_counter() - started,  # repro: noqa[N1] run/sweep wall-clock reporting; never enters simulated results
+            "attempts": 1,
+            "timed_out": False,
+            "degraded": False,
         }
-    return index, _execute_payload(_worker_session(), scenario, profile)
+    return index, _execute_payload(_worker_session(), scenario, profile, policy)
 
 
 @dataclass
@@ -169,6 +247,13 @@ class RunOutcome:
         elapsed_s: Wall-clock seconds the run took (0 for cache hits).
         telemetry: Per-run telemetry delta (``{"spans", "caches"}``) when the
             sweep ran with ``profile=True``; ``None`` otherwise.
+        attempts: Total execution attempts under the retry policy (1 when
+            the first try settled it).
+        timed_out: The run failed by exceeding its wall-clock budget (either
+            cooperatively or by parent-side reclamation).
+        degraded: The run completed on a fallback path (synthetic sparsity
+            after a failed measured harvest); the result is valid but not
+            what the scenario nominally asked for, and is never cached.
     """
 
     scenario: Scenario
@@ -179,6 +264,9 @@ class RunOutcome:
     cached: bool = False
     elapsed_s: float = 0.0
     telemetry: Optional[Dict[str, object]] = None
+    attempts: int = 1
+    timed_out: bool = False
+    degraded: bool = False
 
     @property
     def ok(self) -> bool:
@@ -192,6 +280,7 @@ class SweepReport:
 
     outcomes: List[RunOutcome]
     elapsed_s: float = 0.0
+    store_stats: Optional[Dict[str, int]] = None
 
     @property
     def num_cached(self) -> int:
@@ -207,6 +296,21 @@ class SweepReport:
     def num_failed(self) -> int:
         """Scenarios that raised inside the worker."""
         return sum(1 for outcome in self.outcomes if not outcome.ok)
+
+    @property
+    def num_degraded(self) -> int:
+        """Scenarios that completed on a fallback path."""
+        return sum(1 for outcome in self.outcomes if outcome.degraded)
+
+    @property
+    def num_timed_out(self) -> int:
+        """Scenarios that failed by blowing their wall-clock budget."""
+        return sum(1 for outcome in self.outcomes if outcome.timed_out)
+
+    @property
+    def num_retried(self) -> int:
+        """Scenarios that needed more than one execution attempt."""
+        return sum(1 for outcome in self.outcomes if outcome.attempts > 1)
 
     @property
     def failures(self) -> List[RunOutcome]:
@@ -257,11 +361,17 @@ class SweepReport:
         :func:`repro.telemetry.metrics.sweep_metrics_document`.
         """
         caches = self.cache_totals()
+        if self.store_stats is not None:
+            caches = dict(caches)
+            caches["store"] = dict(self.store_stats)
         document: Dict[str, object] = {
             "total_runs": len(self.outcomes),
             "simulated": self.num_simulated,
             "cached": self.num_cached,
             "failed": self.num_failed,
+            "degraded": self.num_degraded,
+            "timed_out": self.num_timed_out,
+            "retried": self.num_retried,
             "elapsed_seconds": self.elapsed_s,
             "runs_per_second": self.runs_per_second,
             "spans": self.phase_totals(),
@@ -273,21 +383,64 @@ class SweepReport:
         return document
 
 
+class _InFlight:
+    """Parent-side bookkeeping for one dispatched pool task."""
+
+    __slots__ = ("scenario", "async_result", "dispatched_at")
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        async_result: "multiprocessing.pool.AsyncResult",
+        dispatched_at: float,
+    ) -> None:
+        self.scenario = scenario
+        self.async_result = async_result
+        self.dispatched_at = dispatched_at
+
+
+def _pool_pids(pool: "multiprocessing.pool.Pool") -> Set[int]:
+    """Current worker pids of ``pool`` (private API, read defensively)."""
+    processes = getattr(pool, "_pool", None) or ()
+    return {process.pid for process in processes if process.pid is not None}
+
+
 class SweepRunner:
     """Execute scenarios across a worker pool with result caching.
 
     Args:
         store: Optional :class:`ResultStore`; when given, hits skip the pool
             and fresh results are written back.
-        workers: Worker processes; ``1`` runs everything in-process (no pool).
-        chunk_size: Scenarios per pool task; defaults to a heuristic that
-            balances dispatch overhead against load imbalance.
+        workers: Worker processes; ``1`` runs everything in-process (no pool
+            unless ``force_pool``).
+        chunk_size: Accepted for API compatibility (validated, otherwise
+            unused): windowed ``apply_async`` dispatch replaced chunked
+            ``imap`` so hung tasks can be reclaimed individually.
         mp_context: ``multiprocessing`` start method (``"fork"``/``"spawn"``);
             platform default when omitted.
         profile: Record per-run telemetry (phase spans + cache-counter
             deltas) into each :class:`RunOutcome`; the aggregate is exposed
             by :meth:`SweepReport.metrics_document`.  Results are
             byte-identical with profiling on or off.
+        policy: Failure-handling contract (retries, wall-clock budget,
+            degradation); the default :class:`ExecutionPolicy` means one
+            attempt, no budget, degradation allowed.
+        faults: Optional :class:`FaultPlan` armed around execution — in each
+            worker process on the pool path, around the loop on the serial
+            path.  ``None`` (production) leaves the hooks on their null
+            fast path.
+        checkpoint_path: Where to flush the sweep's
+            :class:`SweepCheckpoint`; ``None`` disables checkpointing.
+        checkpoint_interval: Outcomes between checkpoint flushes.
+        resume: Consult an existing checkpoint at ``checkpoint_path`` and
+            report previously completed scenarios (their results are
+            answered by the store as cache hits); failed/degraded/missing
+            scenarios re-execute.
+        force_pool: Use the pool path even for one worker (chaos tests need
+            a killable single-worker pool).
+        worker_grace_s: After a worker death is detected, how long still
+            in-flight tasks may finish before they are presumed lost and
+            re-dispatched serially.
     """
 
     def __init__(
@@ -297,16 +450,34 @@ class SweepRunner:
         chunk_size: Optional[int] = None,
         mp_context: Optional[str] = None,
         profile: bool = False,
+        policy: Optional[ExecutionPolicy] = None,
+        faults: Optional[FaultPlan] = None,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_interval: int = 8,
+        resume: bool = False,
+        force_pool: bool = False,
+        worker_grace_s: float = 5.0,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be at least 1")
         if chunk_size is not None and chunk_size < 1:
             raise ConfigurationError("chunk_size must be at least 1")
+        if checkpoint_interval < 1:
+            raise ConfigurationError("checkpoint_interval must be at least 1")
+        if worker_grace_s < 0:
+            raise ConfigurationError("worker_grace_s must be >= 0")
         self.store = store
         self.workers = workers
         self.chunk_size = chunk_size
         self.mp_context = mp_context
         self.profile = profile
+        self.policy = policy if policy is not None else ExecutionPolicy()
+        self.faults = faults
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_interval = checkpoint_interval
+        self.resume = resume
+        self.force_pool = force_pool
+        self.worker_grace_s = worker_grace_s
 
     # ------------------------------------------------------------------ #
     def run(
@@ -325,16 +496,41 @@ class SweepRunner:
         outcomes: List[Optional[RunOutcome]] = [None] * total
         finished = 0
 
+        checkpoint: Optional[SweepCheckpoint] = None
+        if self.checkpoint_path is not None:
+            if self.resume:
+                document = SweepCheckpoint.load(self.checkpoint_path)
+                prior = SweepCheckpoint.completed_ids(document)
+                if prior:
+                    logger.info(
+                        "resuming: checkpoint lists %d completed scenario(s)",
+                        len(prior),
+                    )
+            checkpoint = SweepCheckpoint(
+                self.checkpoint_path, total, self.checkpoint_interval
+            )
+
         def record(index: int, outcome: RunOutcome) -> None:
             nonlocal finished
+            if outcomes[index] is not None:
+                # A task presumed lost (worker death / reclamation) was
+                # re-run, and the original completion surfaced later; the
+                # results are deterministic, so the first one stands.
+                logger.info(
+                    "ignoring duplicate completion of %s",
+                    outcome.scenario.scenario_id,
+                )
+                return
             outcomes[index] = outcome
             finished += 1
+            if checkpoint is not None:
+                self._checkpoint_outcome(checkpoint, outcome)
             if progress is not None:
                 progress(outcome, finished, total)
 
         pending: List[Tuple[int, Scenario]] = []
         for index, scenario in enumerate(scenarios):
-            cached = self.store.get(scenario) if self.store is not None else None
+            cached = self._store_get(scenario)
             if cached is not None:
                 logger.info("cache hit: %s [%s]", scenario.label(), scenario.scenario_id)
                 record(index, RunOutcome(scenario=scenario, result=cached, cached=True))
@@ -342,16 +538,81 @@ class SweepRunner:
                 pending.append((index, scenario))
 
         if pending:
-            if self.workers == 1:
+            if self.workers == 1 and not self.force_pool:
                 self._run_serial(pending, record)
             else:
                 self._run_pool(pending, record)
 
+        if checkpoint is not None:
+            checkpoint.flush()
         assert all(outcome is not None for outcome in outcomes)
         return SweepReport(
             outcomes=[outcome for outcome in outcomes if outcome is not None],
             elapsed_s=time.perf_counter() - started,  # repro: noqa[N1] run/sweep wall-clock reporting; never enters simulated results
+            store_stats=self.store.stats() if self.store is not None else None,
         )
+
+    # ------------------------------------------------------------------ #
+    def _checkpoint_outcome(
+        self, checkpoint: SweepCheckpoint, outcome: RunOutcome
+    ) -> None:
+        scenario_id = outcome.scenario.scenario_id
+        if outcome.ok:
+            if outcome.degraded:
+                status = "degraded"
+            elif outcome.cached:
+                status = "cached"
+            else:
+                status = "ok"
+            checkpoint.record_success(
+                scenario_id,
+                status=status,
+                attempts=outcome.attempts,
+                telemetry=outcome.telemetry,
+            )
+        else:
+            checkpoint.record_failure(
+                scenario_id,
+                error_type=outcome.error_type or "Exception",
+                error=outcome.error or "",
+                attempts=outcome.attempts,
+                timed_out=outcome.timed_out,
+                telemetry=outcome.telemetry,
+            )
+
+    def _degrade_allowed(self) -> bool:
+        return self.policy.degrade
+
+    def _store_get(self, scenario: Scenario) -> Optional[SimulationResult]:
+        """Store lookup that degrades to a miss instead of failing the sweep."""
+        if self.store is None:
+            return None
+        try:
+            return self.store.get(scenario)
+        except Exception as exc:  # noqa: BLE001 — a broken cache must not kill the sweep
+            if not self._degrade_allowed():
+                raise
+            logger.warning(
+                "result store get failed for %s (%s); treating as a miss",
+                scenario.scenario_id,
+                exc,
+            )
+            return None
+
+    def _store_put(self, scenario: Scenario, result: SimulationResult) -> None:
+        """Store write that degrades to uncached instead of failing the sweep."""
+        if self.store is None:
+            return
+        try:
+            self.store.put(scenario, result)
+        except Exception as exc:  # noqa: BLE001 — a broken cache must not kill the sweep
+            if not self._degrade_allowed():
+                raise
+            logger.warning(
+                "result store put failed for %s (%s); result stays uncached",
+                scenario.scenario_id,
+                exc,
+            )
 
     # ------------------------------------------------------------------ #
     def _finish(
@@ -363,10 +624,16 @@ class SweepRunner:
     ) -> None:
         elapsed = float(payload.get("elapsed_s", 0.0))
         telemetry = payload.get("telemetry")
+        attempts = int(payload.get("attempts", 1))
+        timed_out = bool(payload.get("timed_out", False))
+        degraded = bool(payload.get("degraded", False))
         if payload["ok"]:
             result = SimulationResult.from_dict(payload["result"])
-            if self.store is not None:
-                self.store.put(scenario, result)
+            if not degraded:
+                # A degraded result is a valid answer to *this* sweep but
+                # not to the scenario's nominal identity; caching it would
+                # serve the fallback to future non-degraded requests.
+                self._store_put(scenario, result)
             record(
                 index,
                 RunOutcome(
@@ -374,6 +641,9 @@ class SweepRunner:
                     result=result,
                     elapsed_s=elapsed,
                     telemetry=telemetry,
+                    attempts=attempts,
+                    timed_out=timed_out,
+                    degraded=degraded,
                 ),
             )
         else:
@@ -395,6 +665,8 @@ class SweepRunner:
                     traceback=trace or None,
                     elapsed_s=elapsed,
                     telemetry=telemetry,
+                    attempts=attempts,
+                    timed_out=timed_out,
                 ),
             )
 
@@ -413,27 +685,151 @@ class SweepRunner:
         propagate and abort the sweep.
         """
         session = Session()
-        for index, scenario in pending:
-            payload = _execute_payload(session, scenario, self.profile)
-            self._finish(index, scenario, payload, record)
+        token = arm_faults(self.faults) if self.faults is not None else None
+        try:
+            for index, scenario in pending:
+                payload = _execute_payload(session, scenario, self.profile, self.policy)
+                self._finish(index, scenario, payload, record)
+        finally:
+            if token is not None:
+                disarm_faults(token)
 
     def _run_pool(
         self,
         pending: Sequence[Tuple[int, Scenario]],
         record: Callable[[int, RunOutcome], None],
     ) -> None:
-        scenarios_by_index = {index: scenario for index, scenario in pending}
-        payloads = [
-            (index, scenario.to_dict(), self.profile) for index, scenario in pending
-        ]
-        workers = min(self.workers, len(payloads))
-        chunk = self.chunk_size or max(1, len(payloads) // (workers * 4))
+        """Windowed ``apply_async`` dispatch with reclamation and death watch.
+
+        At most ``workers`` tasks are in flight at a time.  Three things can
+        happen to a task: it completes (normal path); it exceeds the
+        policy's reclamation budget (recorded as a timed-out failure, the
+        pool is terminated at the end rather than joined); or its worker
+        dies (pid-set change) — after ``worker_grace_s`` every task still in
+        flight is presumed lost and re-dispatched on the serial path, so a
+        SIGKILLed worker costs a re-run, never a hung or incomplete sweep.
+        """
+        queue = deque(pending)
+        workers = min(self.workers, len(queue))
         context = multiprocessing.get_context(self.mp_context)
-        with context.Pool(processes=workers) as pool:
-            for index, payload in pool.imap_unordered(
-                _worker_execute, payloads, chunksize=chunk
-            ):
-                self._finish(index, scenarios_by_index[index], payload, record)
+        plan_dict = self.faults.to_dict() if self.faults is not None else None
+        policy_dict = self.policy.to_dict()
+        reclaim_s: Optional[float] = None
+        if self.policy.timeout is not None:
+            reclaim_s = self.policy.timeout.reclaim_timeout_s
+        lost: List[Tuple[int, Scenario]] = []
+        reclaimed = False
+        pool = context.Pool(processes=workers)
+        try:
+            in_flight: "OrderedDict[int, _InFlight]" = OrderedDict()
+            known_pids = _pool_pids(pool)
+            death_detected_at: Optional[float] = None
+            while queue or in_flight:
+                while queue and len(in_flight) < workers:
+                    index, scenario = queue.popleft()
+                    wire = (
+                        index,
+                        scenario.to_dict(),
+                        self.profile,
+                        plan_dict,
+                        policy_dict,
+                    )
+                    in_flight[index] = _InFlight(
+                        scenario,
+                        pool.apply_async(_worker_execute, (wire,)),
+                        time.monotonic(),  # repro: noqa[N1] pool dispatch bookkeeping; never enters simulated results
+                    )
+                progressed = False
+                now = time.monotonic()  # repro: noqa[N1] pool dispatch bookkeeping; never enters simulated results
+                for index in list(in_flight):
+                    task = in_flight[index]
+                    if task.async_result.ready():
+                        del in_flight[index]
+                        progressed = True
+                        try:
+                            _, payload = task.async_result.get()
+                        except Exception as exc:  # noqa: BLE001 — e.g. an unpicklable result
+                            payload = {
+                                "ok": False,
+                                "error": _error_block(exc),
+                                "elapsed_s": now - task.dispatched_at,
+                                "attempts": 1,
+                            }
+                        self._finish(index, task.scenario, payload, record)
+                    elif (
+                        reclaim_s is not None
+                        and now - task.dispatched_at >= reclaim_s
+                    ):
+                        del in_flight[index]
+                        progressed = True
+                        reclaimed = True
+                        logger.warning(
+                            "reclaiming %s: no result within %.1fs",
+                            task.scenario.scenario_id,
+                            reclaim_s,
+                        )
+                        self._finish(
+                            index,
+                            task.scenario,
+                            {
+                                "ok": False,
+                                "error": {
+                                    "type": "RunTimeoutError",
+                                    "message": (
+                                        "worker produced no result within "
+                                        f"{reclaim_s:.1f}s; task reclaimed"
+                                    ),
+                                    "traceback": "",
+                                },
+                                "elapsed_s": now - task.dispatched_at,
+                                "attempts": 1,
+                                "timed_out": True,
+                            },
+                            record,
+                        )
+                pids = _pool_pids(pool)
+                if pids != known_pids:
+                    logger.warning(
+                        "pool worker death detected (pids %s -> %s)",
+                        sorted(known_pids),
+                        sorted(pids),
+                    )
+                    known_pids = pids
+                    if death_detected_at is None:
+                        death_detected_at = now
+                if death_detected_at is not None:
+                    if not in_flight:
+                        death_detected_at = None
+                    elif now - death_detected_at >= self.worker_grace_s:
+                        for index in list(in_flight):
+                            task = in_flight.pop(index)
+                            lost.append((index, task.scenario))
+                        logger.warning(
+                            "presuming %d in-flight scenario(s) lost to worker "
+                            "death; will re-run serially",
+                            len(lost),
+                        )
+                        death_detected_at = None
+                if not progressed and in_flight:
+                    oldest = next(iter(in_flight.values()))
+                    oldest.async_result.wait(_POOL_POLL_S)
+        finally:
+            if reclaimed or lost:
+                # An abandoned task never leaves the pool's result cache, so
+                # the result-handler thread (and therefore join) would wait
+                # on it forever; tear the pool down instead.
+                pool.terminate()
+            else:
+                pool.close()
+            pool.join()
+        if lost:
+            session = Session()
+            for index, scenario in sorted(lost):
+                logger.warning(
+                    "re-running %s serially after worker death", scenario.scenario_id
+                )
+                payload = _execute_payload(session, scenario, self.profile, self.policy)
+                self._finish(index, scenario, payload, record)
 
 
 __all__ = ["RunOutcome", "SweepReport", "SweepRunner", "run_scenario"]

@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from repro.core.results import SimulationResult
 from repro.errors import SimulationError
 from repro.experiments.spec import Scenario
+from repro.resilience.faults import fault_point
 from repro.telemetry.spans import span
 
 logger = logging.getLogger(__name__)
@@ -31,6 +32,10 @@ logger = logging.getLogger(__name__)
 #: Bump when the performance model changes in a way that invalidates cached
 #: results (cache keys incorporate this value).
 SCHEMA_VERSION = 1
+
+#: Directory (under the store root) where corrupt entries are moved for
+#: post-mortem inspection instead of being deleted.
+QUARANTINE_DIRNAME = "quarantine"
 
 #: Column order of the merged summary CSV.
 SUMMARY_COLUMNS: Tuple[str, ...] = (
@@ -71,6 +76,17 @@ def scenario_cache_key(scenario: Scenario) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def result_checksum(result_document: Dict[str, object]) -> str:
+    """SHA-256 over the canonical JSON form of a result document.
+
+    Embedded in every store entry and verified on :meth:`ResultStore.get`,
+    so bit-rot (or a partial write that still parses) surfaces as a
+    quarantined entry instead of a silently wrong cached result.
+    """
+    payload = json.dumps(result_document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
 def summary_row(scenario: Scenario, result: SimulationResult) -> Dict[str, object]:
     """One merged-CSV row for ``(scenario, result)``."""
     row: Dict[str, object] = {
@@ -99,11 +115,21 @@ class ResultStore:
     Entries live under ``root/<k0:2>/<key>.json`` (two-level fan-out keeps
     directories small for big sweeps).  Writes are atomic (temp file +
     ``os.replace``) so a crashed worker never leaves a truncated entry.
+
+    Every entry embeds a SHA-256 checksum over its result document, verified
+    on :meth:`get`.  A corrupt entry (unreadable, unparsable, or checksum
+    mismatch) is *quarantined* — moved under ``root/quarantine/`` and
+    counted in :meth:`stats` — never silently deleted, so damaged caches
+    stay debuggable while sweeps heal around them.
     """
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.puts = 0
 
     # ------------------------------------------------------------------ #
     def path_for(self, scenario: Scenario) -> Path:
@@ -111,51 +137,94 @@ class ResultStore:
         key = scenario_cache_key(scenario)
         return self.root / key[:2] / f"{key}.json"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt entries are moved for post-mortem inspection."""
+        return self.root / QUARANTINE_DIRNAME
+
     def contains(self, scenario: Scenario) -> bool:
         """Whether a cached result exists for ``scenario``."""
         return self.path_for(scenario).is_file()
 
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/corruption counters of this store instance."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "puts": self.puts,
+        }
+
     def get(self, scenario: Scenario) -> Optional[SimulationResult]:
         """Load the cached result for ``scenario``, or ``None`` on a miss.
 
-        Corrupt entries are treated as misses (and removed) so a sweep heals
-        a damaged cache instead of crashing on it.
+        Corrupt entries — unreadable, unparsable, or failing their embedded
+        checksum — count as misses and are moved to ``quarantine/`` so a
+        sweep heals a damaged cache without destroying the evidence.
         """
+        fault_point("store:get")
         path = self.path_for(scenario)
         if not path.is_file():
+            self.misses += 1
             return None
         try:
             with span("store_get"):
                 with path.open("r", encoding="utf-8") as handle:
                     document = json.load(handle)
-                return SimulationResult.from_dict(document["result"])
+                expected = document.get("checksum")
+                if expected is not None and expected != result_checksum(
+                    document["result"]
+                ):
+                    raise ValueError("embedded checksum mismatch")
+                result = SimulationResult.from_dict(document["result"])
         except (OSError, ValueError, KeyError, TypeError) as exc:
-            logger.warning("dropping corrupt cache entry %s (%s)", path, exc)
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self.misses += 1
+            self._quarantine(path, exc)
             return None
+        self.hits += 1
+        return result
+
+    def _quarantine(self, path: Path, reason: Exception) -> None:
+        """Move a corrupt entry under ``quarantine/`` (never delete it)."""
+        self.corrupt += 1
+        destination = self.quarantine_dir / path.name
+        logger.warning(
+            "quarantining corrupt cache entry %s -> %s (%s)",
+            path,
+            destination,
+            reason,
+        )
+        try:
+            destination.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, destination)
+        except OSError as exc:
+            logger.warning("could not quarantine %s (%s)", path, exc)
 
     def put(self, scenario: Scenario, result: SimulationResult) -> Path:
         """Store ``result`` for ``scenario`` and return the entry path."""
+        fault_point("store:put")
         path = self.path_for(scenario)
         with span("store_put"):
             path.parent.mkdir(parents=True, exist_ok=True)
+            result_document = result.to_dict()
             document = {
                 "schema": SCHEMA_VERSION,
                 "key": scenario_cache_key(scenario),
                 "scenario": scenario.to_dict(),
-                "result": result.to_dict(),
+                "result": result_document,
+                "checksum": result_checksum(result_document),
                 "summary": result.summary(),
             }
             _atomic_write_json(path, document)
+        self.puts += 1
         return path
 
     # ------------------------------------------------------------------ #
     def entries(self) -> Iterable[Tuple[Scenario, SimulationResult]]:
         """Iterate over every (scenario, result) pair in the store."""
         for path in sorted(self.root.glob("*/*.json")):
+            if path.parent.name == QUARANTINE_DIRNAME:
+                continue
             try:
                 with path.open("r", encoding="utf-8") as handle:
                     document = json.load(handle)
@@ -167,7 +236,11 @@ class ResultStore:
                 logger.warning("skipping unreadable cache entry %s (%s)", path, exc)
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json"))
+        return sum(
+            1
+            for path in self.root.glob("*/*.json")
+            if path.parent.name != QUARANTINE_DIRNAME
+        )
 
 
 # --------------------------------------------------------------------------- #
@@ -279,15 +352,26 @@ def _atomic_write_json(path: Path, payload: object) -> None:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         os.replace(handle.name, path)
+    except (KeyboardInterrupt, SystemExit):
+        # Control-flow exceptions re-raise explicitly ahead of the broad
+        # cleanup clause: an interrupt must never be delayed or re-labelled
+        # by temp-file housekeeping.
+        _unlink_quietly(handle.name)
+        raise
     except BaseException:
-        try:
-            os.unlink(handle.name)
-        except OSError:
-            pass
+        _unlink_quietly(handle.name)
         raise
 
 
+def _unlink_quietly(name: str) -> None:
+    try:
+        os.unlink(name)
+    except OSError:
+        pass
+
+
 __all__ = [
+    "QUARANTINE_DIRNAME",
     "ResultStore",
     "SCHEMA_VERSION",
     "SUMMARY_COLUMNS",
@@ -295,6 +379,7 @@ __all__ = [
     "export_summary_csv",
     "export_summary_json",
     "load_sweep_rows",
+    "result_checksum",
     "scenario_cache_key",
     "summary_row",
 ]

@@ -48,7 +48,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import ConfigurationError, SimulationError, SparsityHarvestError
 from repro.gcn.model import DeepGCN
 from repro.memory.replay import TraceCache
 from repro.gcn.sparsity import (
@@ -58,6 +58,7 @@ from repro.gcn.sparsity import (
     sparsity_vs_depth,
 )
 from repro.gcn.training import make_classification_problem, train_node_classifier
+from repro.resilience.faults import fault_point
 from repro.telemetry.spans import span
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -350,7 +351,13 @@ class MeasuredSparsityProvider(SparsityProvider):
             # expensive part of a measured-mode run; time it only when the
             # memo actually misses.
             with span("sparsity_harvest"):
-                return self._harvest(dataset, graph)
+                try:
+                    return self._harvest(dataset, graph)
+                except Exception as exc:  # noqa: BLE001 — re-typed, never swallowed
+                    raise SparsityHarvestError(
+                        f"measured-sparsity harvest failed for dataset "
+                        f"{dataset.name!r} ({type(exc).__name__}: {exc})"
+                    ) from exc
 
         return self.cache.get(key, build)
 
@@ -365,6 +372,7 @@ class MeasuredSparsityProvider(SparsityProvider):
             seed=dataset.seed,
         )
         final_accuracy = 0.0
+        fault_point("gcn:train")
         with span("gcn_train"):
             if self.epochs > 0:
                 trained = train_node_classifier(

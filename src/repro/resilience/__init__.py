@@ -1,0 +1,70 @@
+"""Failure-handling for the execution stack: faults, policies, checkpoints.
+
+Three planes, all deterministic and identity-neutral when idle:
+
+* :mod:`repro.resilience.faults` — seeded, contextvar-scoped fault
+  injection at named sites (``fault_point("stage:replay")``), armed by
+  tests or ``repro sweep --inject-faults``.
+* :mod:`repro.resilience.policy` — declarative :class:`RetryPolicy` /
+  :class:`TimeoutPolicy` / :class:`ExecutionPolicy`, the only place the
+  execution stack is allowed to sleep or read a deadline clock (rule R1).
+* :mod:`repro.resilience.checkpoint` — schema-versioned sweep checkpoints
+  behind ``repro sweep --resume``.
+
+Layering: this package imports only :mod:`repro.errors`,
+:mod:`repro.telemetry`, and stdlib/numpy, so every execution layer
+(``core``, ``accelerator``, ``gcn``, ``experiments``) may depend on it
+without cycles.
+"""
+
+from repro.resilience.checkpoint import (
+    CHECKPOINT_FILENAME,
+    CHECKPOINT_KIND,
+    CHECKPOINT_SCHEMA_VERSION,
+    SweepCheckpoint,
+)
+from repro.resilience.faults import (
+    FAULT_ACTIONS,
+    FAULT_SITES,
+    FaultPlan,
+    FaultSpec,
+    active_faults,
+    arm_faults,
+    disarm_faults,
+    fault_point,
+    faults_scope,
+    load_fault_plan,
+)
+from repro.resilience.policy import (
+    ExecutionPolicy,
+    RetryPolicy,
+    TimeoutPolicy,
+    active_policy,
+    check_deadline,
+    deadline_scope,
+    policy_scope,
+)
+
+__all__ = [
+    "CHECKPOINT_FILENAME",
+    "CHECKPOINT_KIND",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "ExecutionPolicy",
+    "FAULT_ACTIONS",
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "SweepCheckpoint",
+    "TimeoutPolicy",
+    "active_faults",
+    "active_policy",
+    "arm_faults",
+    "check_deadline",
+    "deadline_scope",
+    "disarm_faults",
+    "fault_point",
+    "faults_scope",
+    "load_fault_plan",
+    "policy_scope",
+]

@@ -1,0 +1,312 @@
+"""Deterministic fault injection: break the system on purpose, repeatably.
+
+A :class:`FaultPlan` is a seeded, contextvar-scoped description of *where*
+and *when* the execution stack should misbehave.  Production code is dotted
+with named :func:`fault_point` hooks (the catalogue is :data:`FAULT_SITES`);
+each hook is a single contextvar load plus one branch when no plan is armed,
+so the unarmed fast path costs nothing measurable.  When a plan *is* armed —
+by a test, or by the ``repro sweep --inject-faults spec.json`` CLI flag —
+matching sites raise :class:`~repro.errors.FaultInjectionError`, sleep,
+corrupt their result, or SIGKILL the hosting process, on a deterministic
+per-visit schedule.
+
+Determinism contract: a spec triggers on exact visit numbers (``after`` /
+``times``), and probabilistic specs (``probability < 1``) draw from
+``np.random.default_rng([seed, crc32(site), visit])`` — the same plan against
+the same execution order injects the same faults, every time, in every
+worker.  Plans cross the pool boundary as plain dictionaries
+(:meth:`FaultPlan.to_dict` / :meth:`FaultPlan.from_dict`); each worker
+process arms its own copy with fresh counters.
+
+Design constraints mirror :mod:`repro.telemetry.spans`: identity-neutral
+when unarmed (golden digests are byte-identical with the hooks compiled in),
+near-zero unarmed overhead, stdlib + numpy only, importable from every layer
+without cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import signal
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar, Token
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError, FaultInjectionError
+
+logger = logging.getLogger(__name__)
+
+#: The named injection sites threaded through the execution stack.
+FAULT_SITES: Tuple[str, ...] = (
+    "cache:trace",
+    "gcn:train",
+    "stage:replay",
+    "stage:schedule",
+    "store:get",
+    "store:put",
+    "worker:execute",
+)
+
+#: What a triggering spec does to the hosting call.
+FAULT_ACTIONS: Tuple[str, ...] = ("raise", "delay", "corrupt", "kill")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic misbehaviour at one site.
+
+    Attributes:
+        site: Which :func:`fault_point` this spec arms (see
+            :data:`FAULT_SITES`).
+        action: ``"raise"`` (raise :class:`FaultInjectionError`),
+            ``"delay"`` (sleep ``delay_s`` then continue), ``"corrupt"``
+            (return the spec so the call site damages its own payload), or
+            ``"kill"`` (SIGKILL the hosting process — worker-death chaos).
+        times: How many visits trigger; ``None`` means every eligible visit.
+        after: Skip this many visits before becoming eligible (``after=1``
+            with ``times=1`` means "fail exactly the second visit").
+        probability: Trigger eligible visits with this probability, drawn
+            from the plan-seeded RNG; ``1.0`` (the default) is unconditional.
+        message: Optional text carried into the injected error.
+        delay_s: Sleep duration for ``action="delay"``.
+    """
+
+    site: str
+    action: str = "raise"
+    times: Optional[int] = 1
+    after: int = 0
+    probability: float = 1.0
+    message: str = ""
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise ConfigurationError(
+                f"unknown fault site {self.site!r}; expected one of "
+                f"{', '.join(FAULT_SITES)}"
+            )
+        if self.action not in FAULT_ACTIONS:
+            raise ConfigurationError(
+                f"unknown fault action {self.action!r}; expected one of "
+                f"{', '.join(FAULT_ACTIONS)}"
+            )
+        if self.times is not None and self.times < 1:
+            raise ConfigurationError("times must be >= 1 (or None for unlimited)")
+        if self.after < 0:
+            raise ConfigurationError("after must be >= 0")
+        if not 0.0 < self.probability <= 1.0:
+            raise ConfigurationError("probability must be in (0, 1]")
+        if self.delay_s < 0:
+            raise ConfigurationError("delay_s must be >= 0")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (crosses the worker pool boundary as JSON)."""
+        return {
+            "site": self.site,
+            "action": self.action,
+            "times": self.times,
+            "after": self.after,
+            "probability": self.probability,
+            "message": self.message,
+            "delay_s": self.delay_s,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, object]) -> "FaultSpec":
+        """Rebuild a spec from :meth:`to_dict` output (validates afresh)."""
+        unknown = set(document) - {
+            "site", "action", "times", "after", "probability", "message", "delay_s",
+        }
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault spec field(s): {', '.join(sorted(unknown))}"
+            )
+        if "site" not in document:
+            raise ConfigurationError("fault spec requires a 'site'")
+        times = document.get("times", 1)
+        return cls(
+            site=str(document["site"]),
+            action=str(document.get("action", "raise")),
+            times=None if times is None else int(times),  # type: ignore[arg-type]
+            after=int(document.get("after", 0)),  # type: ignore[arg-type]
+            probability=float(document.get("probability", 1.0)),  # type: ignore[arg-type]
+            message=str(document.get("message", "")),
+            delay_s=float(document.get("delay_s", 0.0)),  # type: ignore[arg-type]
+        )
+
+
+class FaultPlan:
+    """A seeded collection of :class:`FaultSpec` with per-site visit state.
+
+    The plan owns two kinds of state: a visit counter per site (how many
+    times execution reached each :func:`fault_point`) and a trigger counter
+    per spec.  Both start at zero in every process the plan is armed in, so
+    a plan shipped to a pool worker injects on that *worker's* nth visit —
+    deterministic as long as the per-worker execution order is.
+    """
+
+    def __init__(self, specs: Sequence[FaultSpec] = (), seed: int = 0) -> None:
+        if seed < 0:
+            raise ConfigurationError("fault plan seed must be >= 0")
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        self.seed = int(seed)
+        self.visits: Dict[str, int] = {}
+        self.triggered: Dict[str, int] = {}
+        self._by_site: Dict[str, List[Tuple[int, FaultSpec]]] = {}
+        self._fired: Dict[int, int] = {}
+        for position, spec in enumerate(self.specs):
+            self._by_site.setdefault(spec.site, []).append((position, spec))
+            self._fired[position] = 0
+
+    # ------------------------------------------------------------------ #
+    def check(self, site: str) -> Optional[FaultSpec]:
+        """Record a visit to ``site``; return the triggering spec, if any.
+
+        Specs for a site are consulted in plan order; the first eligible one
+        (past its ``after`` skip, under its ``times`` budget, passing its
+        probability draw) fires and has its trigger counters bumped.
+        """
+        visit = self.visits.get(site, 0) + 1
+        self.visits[site] = visit
+        for position, spec in self._by_site.get(site, ()):
+            if visit <= spec.after:
+                continue
+            if spec.times is not None and self._fired[position] >= spec.times:
+                continue
+            if spec.probability < 1.0 and not self._draw(site, visit, spec):
+                continue
+            self._fired[position] += 1
+            self.triggered[site] = self.triggered.get(site, 0) + 1
+            return spec
+        return None
+
+    def _draw(self, site: str, visit: int, spec: FaultSpec) -> bool:
+        from zlib import crc32
+
+        rng = np.random.default_rng([self.seed, crc32(site.encode("utf-8")), visit])
+        return bool(rng.random() < spec.probability)
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form: specs + seed, no counters (state stays local)."""
+        return {
+            "seed": self.seed,
+            "faults": [spec.to_dict() for spec in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, object]) -> "FaultPlan":
+        """Rebuild a plan (fresh counters) from :meth:`to_dict` output."""
+        faults = document.get("faults", [])
+        if not isinstance(faults, (list, tuple)):
+            raise ConfigurationError("'faults' must be a list of fault specs")
+        specs = [FaultSpec.from_dict(item) for item in faults]
+        seed = document.get("seed", 0)
+        return cls(specs=specs, seed=int(seed))  # type: ignore[arg-type]
+
+
+def load_fault_plan(path: Union[str, Path]) -> FaultPlan:
+    """Load a ``--inject-faults`` JSON spec file into a :class:`FaultPlan`.
+
+    The document shape is :meth:`FaultPlan.to_dict`'s::
+
+        {"seed": 0, "faults": [{"site": "stage:replay", "times": 1}, ...]}
+    """
+    path = Path(path)
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read fault spec {path}: {exc}") from exc
+    except ValueError as exc:
+        raise ConfigurationError(f"fault spec {path} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict):
+        raise ConfigurationError(f"fault spec {path} must be a JSON object")
+    return FaultPlan.from_dict(document)
+
+
+# --------------------------------------------------------------------------- #
+# Arming
+# --------------------------------------------------------------------------- #
+_ACTIVE_FAULTS: ContextVar[Optional[FaultPlan]] = ContextVar(
+    "repro_active_faults", default=None
+)
+
+
+def active_faults() -> Optional[FaultPlan]:
+    """The currently armed :class:`FaultPlan`, or ``None``."""
+    return _ACTIVE_FAULTS.get()
+
+
+def arm_faults(plan: Optional[FaultPlan]) -> "Token[Optional[FaultPlan]]":
+    """Arm ``plan`` for the current context; returns the reset token.
+
+    Long-lived arming (a worker process arming the plan it received over the
+    wire) holds the token for the process lifetime; scoped arming should use
+    :func:`faults_scope` instead.
+    """
+    return _ACTIVE_FAULTS.set(plan)
+
+
+def disarm_faults(token: "Token[Optional[FaultPlan]]") -> None:
+    """Restore the arming state captured by an :func:`arm_faults` token."""
+    _ACTIVE_FAULTS.reset(token)
+
+
+@contextmanager
+def faults_scope(plan: Optional[FaultPlan]) -> Iterator[Optional[FaultPlan]]:
+    """Arm ``plan`` for the duration of a ``with`` block (tests)."""
+    token = arm_faults(plan)
+    try:
+        yield plan
+    finally:
+        disarm_faults(token)
+
+
+def fault_point(site: str) -> Optional[FaultSpec]:
+    """Consult the armed plan at a named site; the production no-op hook.
+
+    Unarmed (the overwhelmingly common case) this is one contextvar load and
+    one branch.  Armed, a matching spec acts: ``raise`` raises
+    :class:`FaultInjectionError`, ``delay`` sleeps in place, ``kill``
+    SIGKILLs the hosting process (worker-death chaos), and ``corrupt`` is
+    returned to the caller, which owns damaging its own payload.
+    """
+    plan = _ACTIVE_FAULTS.get()
+    if plan is None:
+        return None
+    spec = plan.check(site)
+    if spec is None:
+        return None
+    if spec.action == "raise":
+        logger.warning("injected fault: raise at %s", site)
+        raise FaultInjectionError(site, spec.message)
+    if spec.action == "delay":
+        logger.warning("injected fault: delay %.3fs at %s", spec.delay_s, site)
+        time.sleep(spec.delay_s)
+        return spec
+    if spec.action == "kill":
+        logger.warning("injected fault: SIGKILL at %s (pid %d)", site, os.getpid())
+        os.kill(os.getpid(), signal.SIGKILL)
+    return spec  # "corrupt": the call site applies the damage
+
+
+__all__ = [
+    "FAULT_ACTIONS",
+    "FAULT_SITES",
+    "FaultPlan",
+    "FaultSpec",
+    "active_faults",
+    "arm_faults",
+    "disarm_faults",
+    "fault_point",
+    "faults_scope",
+    "load_fault_plan",
+]

@@ -1,0 +1,302 @@
+"""Execution policies: retries, timeouts, and degradation as declared data.
+
+The sweep runner (and, later, the ``repro serve`` daemon) should never
+hand-roll a retry loop or a ``time.sleep`` backoff — the R1 lint rule bans
+both outside this package.  Instead callers declare an
+:class:`ExecutionPolicy`:
+
+* :class:`RetryPolicy` — bounded attempts with exponential backoff and
+  *deterministic* seeded jitter (``np.random.default_rng([seed, attempt,
+  crc32(key)])``), so two reruns of the same sweep sleep the same amounts in
+  the same places.  Retryability is decided by an exception-name allowlist;
+  by default everything transient retries while configuration errors (a bad
+  scenario will not get better) fail fast.
+* :class:`TimeoutPolicy` — a per-run wall-clock budget.  Pool workers are
+  reclaimed by the parent (``AsyncResult``-based dispatch in
+  :class:`~repro.experiments.runner.SweepRunner`); the serial path enforces
+  the budget *cooperatively* via :func:`deadline_scope` /
+  :func:`check_deadline` at pipeline stage boundaries.
+* ``degrade`` — whether a failed measured-sparsity harvest may fall back to
+  the synthetic provider with the run marked ``degraded`` instead of failed
+  (:meth:`repro.core.session.Session.run` consults :func:`active_policy`).
+
+Policies are frozen dataclasses that round-trip through plain dictionaries,
+so they cross the worker pool boundary next to the scenario payloads.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+from zlib import crc32
+
+import numpy as np
+
+from repro.errors import ConfigurationError, RunTimeoutError
+
+#: Exception types that never retry: a configuration problem is permanent.
+_NON_RETRYABLE: Tuple[type, ...] = (ConfigurationError,)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded, deterministic retry with exponential backoff.
+
+    Attributes:
+        max_attempts: Total tries per run (1 = no retries).
+        backoff_base_s: Sleep before the first retry.
+        backoff_factor: Multiplier per further retry.
+        max_backoff_s: Upper clamp on any single sleep.
+        jitter: Fractional jitter width; a sleep is scaled by a factor drawn
+            uniformly from ``[1 - jitter, 1 + jitter]`` with a seeded RNG.
+        seed: Jitter seed (deterministic across reruns and workers).
+        retryable: Exception *class names* that may retry; ``None`` retries
+            any ``Exception`` except :class:`ConfigurationError`.  Names keep
+            the policy JSON-serialisable across the pool boundary.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    max_backoff_s: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+    retryable: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError("max_attempts must be at least 1")
+        if self.backoff_base_s < 0 or self.max_backoff_s < 0:
+            raise ConfigurationError("backoff durations must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError("jitter must be in [0, 1)")
+        if self.seed < 0:
+            raise ConfigurationError("seed must be >= 0")
+        if self.retryable is not None:
+            object.__setattr__(self, "retryable", tuple(self.retryable))
+
+    # ------------------------------------------------------------------ #
+    def should_retry(self, exc: BaseException, attempt: int) -> bool:
+        """Whether ``exc`` on try number ``attempt`` (1-based) may retry."""
+        if attempt >= self.max_attempts:
+            return False
+        if not isinstance(exc, Exception):
+            return False  # KeyboardInterrupt/SystemExit always propagate
+        if self.retryable is None:
+            return not isinstance(exc, _NON_RETRYABLE)
+        names = {klass.__name__ for klass in type(exc).__mro__}
+        return bool(names & set(self.retryable))
+
+    def backoff_s(self, attempt: int, key: str = "") -> float:
+        """Deterministic sleep before retry number ``attempt`` (1-based).
+
+        ``key`` (typically the scenario id) decorrelates the jitter of
+        different runs retrying in lockstep, without ever consulting the
+        wall clock or global RNG state.
+        """
+        base = self.backoff_base_s * (self.backoff_factor ** (attempt - 1))
+        base = min(base, self.max_backoff_s)
+        if self.jitter and base > 0:
+            rng = np.random.default_rng(
+                [self.seed, attempt, crc32(key.encode("utf-8"))]
+            )
+            base *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return min(base, self.max_backoff_s)
+
+    def sleep_before(self, attempt: int, key: str = "") -> float:
+        """Sleep the backoff for retry ``attempt``; returns seconds slept.
+
+        The one blessed ``time.sleep`` of the execution stack (rule R1).
+        """
+        seconds = self.backoff_s(attempt, key)
+        if seconds > 0:
+            time.sleep(seconds)
+        return seconds
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (crosses the worker pool boundary)."""
+        return {
+            "max_attempts": self.max_attempts,
+            "backoff_base_s": self.backoff_base_s,
+            "backoff_factor": self.backoff_factor,
+            "max_backoff_s": self.max_backoff_s,
+            "jitter": self.jitter,
+            "seed": self.seed,
+            "retryable": None if self.retryable is None else list(self.retryable),
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, object]) -> "RetryPolicy":
+        """Rebuild a policy from :meth:`to_dict` output (validates afresh)."""
+        retryable = document.get("retryable")
+        return cls(
+            max_attempts=int(document.get("max_attempts", 3)),  # type: ignore[arg-type]
+            backoff_base_s=float(document.get("backoff_base_s", 0.05)),  # type: ignore[arg-type]
+            backoff_factor=float(document.get("backoff_factor", 2.0)),  # type: ignore[arg-type]
+            max_backoff_s=float(document.get("max_backoff_s", 2.0)),  # type: ignore[arg-type]
+            jitter=float(document.get("jitter", 0.1)),  # type: ignore[arg-type]
+            seed=int(document.get("seed", 0)),  # type: ignore[arg-type]
+            retryable=None if retryable is None else tuple(str(name) for name in retryable),  # type: ignore[union-attr]
+        )
+
+
+@dataclass(frozen=True)
+class TimeoutPolicy:
+    """A per-run wall-clock budget.
+
+    Attributes:
+        run_timeout_s: Budget in seconds; ``None`` disables the budget.
+        grace_s: Extra slack the *parent* grants a pool worker beyond the
+            cooperative budget before reclaiming the task (the worker checks
+            the deadline at stage boundaries; reclamation is the backstop
+            for a truly hung stage).
+    """
+
+    run_timeout_s: Optional[float] = None
+    grace_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.run_timeout_s is not None and self.run_timeout_s <= 0:
+            raise ConfigurationError("run_timeout_s must be positive (or None)")
+        if self.grace_s < 0:
+            raise ConfigurationError("grace_s must be >= 0")
+
+    @property
+    def reclaim_timeout_s(self) -> Optional[float]:
+        """Parent-side reclamation budget (cooperative budget + grace)."""
+        if self.run_timeout_s is None:
+            return None
+        return self.run_timeout_s + self.grace_s
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (crosses the worker pool boundary)."""
+        return {"run_timeout_s": self.run_timeout_s, "grace_s": self.grace_s}
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, object]) -> "TimeoutPolicy":
+        """Rebuild a policy from :meth:`to_dict` output (validates afresh)."""
+        timeout = document.get("run_timeout_s")
+        return cls(
+            run_timeout_s=None if timeout is None else float(timeout),  # type: ignore[arg-type]
+            grace_s=float(document.get("grace_s", 5.0)),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """The full failure-handling contract of one sweep (or one run).
+
+    Attributes:
+        retry: Retry behaviour; ``None`` means one attempt, fail fast.
+        timeout: Wall-clock budget; ``None`` means unbounded.
+        degrade: Whether a measured-sparsity harvest failure may fall back
+            to the synthetic provider (run marked ``degraded``) and a broken
+            cache may fall back to uncached execution.
+    """
+
+    retry: Optional[RetryPolicy] = None
+    timeout: Optional[TimeoutPolicy] = None
+    degrade: bool = True
+
+    @property
+    def max_attempts(self) -> int:
+        """Total tries per run under this policy."""
+        return self.retry.max_attempts if self.retry is not None else 1
+
+    @property
+    def run_timeout_s(self) -> Optional[float]:
+        """Cooperative per-run budget, or ``None`` when unbounded."""
+        return self.timeout.run_timeout_s if self.timeout is not None else None
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (crosses the worker pool boundary)."""
+        return {
+            "retry": None if self.retry is None else self.retry.to_dict(),
+            "timeout": None if self.timeout is None else self.timeout.to_dict(),
+            "degrade": self.degrade,
+        }
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, object]) -> "ExecutionPolicy":
+        """Rebuild a policy from :meth:`to_dict` output (validates afresh)."""
+        retry = document.get("retry")
+        timeout = document.get("timeout")
+        return cls(
+            retry=None if retry is None else RetryPolicy.from_dict(retry),  # type: ignore[arg-type]
+            timeout=None if timeout is None else TimeoutPolicy.from_dict(timeout),  # type: ignore[arg-type]
+            degrade=bool(document.get("degrade", True)),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Active-policy and cooperative-deadline context
+# --------------------------------------------------------------------------- #
+_ACTIVE_POLICY: ContextVar[Optional[ExecutionPolicy]] = ContextVar(
+    "repro_active_policy", default=None
+)
+
+_DEADLINE: ContextVar[Optional[float]] = ContextVar("repro_deadline", default=None)
+
+
+def active_policy() -> Optional[ExecutionPolicy]:
+    """The :class:`ExecutionPolicy` governing the current context, if any."""
+    return _ACTIVE_POLICY.get()
+
+
+@contextmanager
+def policy_scope(policy: Optional[ExecutionPolicy]) -> Iterator[Optional[ExecutionPolicy]]:
+    """Make ``policy`` the active policy for a ``with`` block."""
+    token = _ACTIVE_POLICY.set(policy)
+    try:
+        yield policy
+    finally:
+        _ACTIVE_POLICY.reset(token)
+
+
+@contextmanager
+def deadline_scope(seconds: Optional[float]) -> Iterator[None]:
+    """Arm a cooperative wall-clock deadline ``seconds`` from now.
+
+    ``None`` leaves any enclosing deadline in force.  The deadline is only
+    *observed* — it never feeds results — so the clock read stays
+    identity-neutral (and lives in ``resilience/``, which rule N1 blesses).
+    """
+    if seconds is None:
+        yield
+        return
+    token = _DEADLINE.set(time.monotonic() + seconds)
+    try:
+        yield
+    finally:
+        _DEADLINE.reset(token)
+
+
+def check_deadline(stage: str) -> None:
+    """Raise :class:`RunTimeoutError` if the armed deadline has passed.
+
+    Called at pipeline stage boundaries (schedule, replay, timing, energy) —
+    the cooperative half of :class:`TimeoutPolicy`; pool reclamation is the
+    non-cooperative backstop.  A no-op when no deadline is armed.
+    """
+    deadline = _DEADLINE.get()
+    if deadline is not None and time.monotonic() > deadline:
+        raise RunTimeoutError(
+            f"run exceeded its wall-clock budget before stage {stage!r}"
+        )
+
+
+__all__ = [
+    "ExecutionPolicy",
+    "RetryPolicy",
+    "TimeoutPolicy",
+    "active_policy",
+    "check_deadline",
+    "deadline_scope",
+    "policy_scope",
+]

@@ -1,0 +1,16 @@
+"""Should-flag fixture for R1: hand-rolled waiting and unbounded retries."""
+
+import time
+
+
+def wait_for_file(path):
+    time.sleep(0.5)
+    return path.exists()
+
+
+def fetch_forever(source):
+    while True:
+        try:
+            return source.read()
+        except OSError:
+            continue

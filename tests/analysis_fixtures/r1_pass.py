@@ -1,0 +1,13 @@
+"""Should-pass fixture for R1: waiting goes through the policy layer."""
+
+
+def fetch_with_budget(source, retry):
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            return source.read()
+        except OSError as exc:
+            if not retry.should_retry(exc, attempts):
+                raise
+            retry.sleep_before(attempts, source.name)

@@ -1,8 +1,15 @@
-"""Should-flag fixture for S2: bare except swallowing everything."""
+"""Should-flag fixture for S2: handlers that swallow interrupts."""
 
 
 def safe_div(a, b):
     try:
         return a / b
     except:
+        return None
+
+
+def swallow_everything(path):
+    try:
+        return path.read_text()
+    except BaseException:
         return None

@@ -1,4 +1,4 @@
-"""Should-pass fixture for S2: the exception type is named."""
+"""Should-pass fixture for S2: types are named; BaseException re-raises."""
 
 
 def safe_div(a, b):
@@ -6,3 +6,14 @@ def safe_div(a, b):
         return a / b
     except ZeroDivisionError:
         return None
+
+
+def atomic_write(path, payload, cleanup):
+    try:
+        path.write_text(payload)
+    except (KeyboardInterrupt, SystemExit):
+        cleanup()
+        raise
+    except BaseException:
+        cleanup()
+        raise

@@ -35,10 +35,12 @@ def test_lint_json_document(capsys):
     assert document["ok"] is False
     assert document["files_checked"] == 1
     assert [rule["id"] for rule in document["rules"]] == list(RULE_IDS)
-    assert document["counts"]["S2"] == 1
-    (finding,) = document["findings"]
-    assert finding["rule"] == "S2"
-    assert finding["path"].endswith("s2_flag.py")
+    # Two findings: the bare except and the swallowed BaseException.
+    assert document["counts"]["S2"] == 2
+    assert len(document["findings"]) == 2
+    for finding in document["findings"]:
+        assert finding["rule"] == "S2"
+        assert finding["path"].endswith("s2_flag.py")
 
 
 def test_lint_rule_selection(capsys):

@@ -18,9 +18,10 @@ PAIRS = {
     "N2": ("n2_flag.py", "n2_pass.py", 1),
     "W1": ("w1_flag.py", "w1_pass.py", 1),
     "S1": ("s1_flag.py", "s1_pass.py", 1),
-    "S2": ("s2_flag.py", "s2_pass.py", 1),
+    "S2": ("s2_flag.py", "s2_pass.py", 2),
     "S3": ("s3_flag.py", "s3_pass.py", 1),
     "C1": ("c1_flag.py", "c1_pass.py", 2),
+    "R1": ("r1_flag.py", "r1_pass.py", 2),
 }
 
 

@@ -52,9 +52,11 @@ def test_sweep_run_cache_and_export(tmp_path, capsys):
 
     pack_dir = out_dir / "hbm-generation"
     scenario_files = [
-        path for path in pack_dir.glob("*.json") if path.name != "summary.json"
+        path for path in pack_dir.glob("*.json")
+        if path.name not in ("summary.json", "checkpoint.json")
     ]
     assert len(scenario_files) == 18
+    assert (pack_dir / "checkpoint.json").is_file()
     with (pack_dir / "summary.csv").open(encoding="utf-8", newline="") as handle:
         rows = list(csv.DictReader(handle))
     assert len(rows) == 18

@@ -1,0 +1,144 @@
+"""Fault-injection plane: deterministic schedules, scoping, wire round-trip."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, FaultInjectionError
+from repro.resilience.faults import (
+    FAULT_SITES,
+    FaultPlan,
+    FaultSpec,
+    active_faults,
+    fault_point,
+    faults_scope,
+    load_fault_plan,
+)
+
+
+def test_fault_point_is_a_no_op_when_unarmed():
+    assert active_faults() is None
+    for site in FAULT_SITES:
+        assert fault_point(site) is None
+
+
+def test_spec_validation_rejects_nonsense():
+    with pytest.raises(ConfigurationError):
+        FaultSpec(site="stage:warp-drive")
+    with pytest.raises(ConfigurationError):
+        FaultSpec(site="stage:replay", action="explode")
+    with pytest.raises(ConfigurationError):
+        FaultSpec(site="stage:replay", times=0)
+    with pytest.raises(ConfigurationError):
+        FaultSpec(site="stage:replay", after=-1)
+    with pytest.raises(ConfigurationError):
+        FaultSpec(site="stage:replay", probability=0.0)
+    with pytest.raises(ConfigurationError):
+        FaultSpec(site="stage:replay", delay_s=-1.0)
+
+
+def test_raise_triggers_on_the_exact_scheduled_visits():
+    plan = FaultPlan([FaultSpec(site="stage:replay", after=1, times=2)])
+    with faults_scope(plan):
+        assert fault_point("stage:replay") is None  # visit 1: skipped (after=1)
+        with pytest.raises(FaultInjectionError):
+            fault_point("stage:replay")  # visit 2: fires
+        with pytest.raises(FaultInjectionError):
+            fault_point("stage:replay")  # visit 3: fires (times=2)
+        assert fault_point("stage:replay") is None  # budget exhausted
+        assert fault_point("stage:schedule") is None  # other sites untouched
+    assert plan.visits["stage:replay"] == 4
+    assert plan.triggered["stage:replay"] == 2
+
+
+def test_injected_error_names_its_site_and_message():
+    plan = FaultPlan([FaultSpec(site="store:put", message="disk on fire")])
+    with faults_scope(plan):
+        with pytest.raises(FaultInjectionError) as excinfo:
+            fault_point("store:put")
+    assert excinfo.value.site == "store:put"
+    assert "disk on fire" in str(excinfo.value)
+
+
+def test_corrupt_and_delay_return_the_spec_to_the_call_site():
+    plan = FaultPlan(
+        [
+            FaultSpec(site="store:get", action="corrupt"),
+            FaultSpec(site="stage:schedule", action="delay", delay_s=0.0),
+        ]
+    )
+    with faults_scope(plan):
+        corrupt = fault_point("store:get")
+        assert corrupt is not None and corrupt.action == "corrupt"
+        delayed = fault_point("stage:schedule")
+        assert delayed is not None and delayed.action == "delay"
+
+
+def test_probabilistic_specs_are_deterministic_across_plan_copies():
+    spec = FaultSpec(site="worker:execute", times=None, probability=0.5)
+    outcomes = []
+    for _ in range(2):
+        plan = FaultPlan([spec], seed=11)
+        fired = []
+        with faults_scope(plan):
+            for _ in range(32):
+                try:
+                    fault_point("worker:execute")
+                    fired.append(False)
+                except FaultInjectionError:
+                    fired.append(True)
+        outcomes.append(fired)
+    assert outcomes[0] == outcomes[1]
+    assert any(outcomes[0]) and not all(outcomes[0])
+
+
+def test_plan_round_trips_with_fresh_counters():
+    plan = FaultPlan([FaultSpec(site="gcn:train", times=1)], seed=3)
+    with faults_scope(plan):
+        with pytest.raises(FaultInjectionError):
+            fault_point("gcn:train")
+    clone = FaultPlan.from_dict(plan.to_dict())
+    assert clone.seed == 3
+    assert clone.specs == plan.specs
+    assert clone.visits == {} and clone.triggered == {}
+    with faults_scope(clone):
+        with pytest.raises(FaultInjectionError):
+            fault_point("gcn:train")  # fresh budget in the copy
+
+
+def test_scopes_nest_and_restore():
+    outer = FaultPlan([FaultSpec(site="store:get")])
+    inner = FaultPlan([FaultSpec(site="store:put")])
+    with faults_scope(outer):
+        assert active_faults() is outer
+        with faults_scope(inner):
+            assert active_faults() is inner
+        assert active_faults() is outer
+    assert active_faults() is None
+
+
+def test_load_fault_plan_validates(tmp_path):
+    path = tmp_path / "faults.json"
+    path.write_text(
+        json.dumps({"seed": 5, "faults": [{"site": "stage:replay", "times": None}]})
+    )
+    plan = load_fault_plan(path)
+    assert plan.seed == 5
+    assert plan.specs[0].site == "stage:replay"
+    assert plan.specs[0].times is None
+
+    (tmp_path / "broken.json").write_text("{nope")
+    with pytest.raises(ConfigurationError):
+        load_fault_plan(tmp_path / "broken.json")
+    with pytest.raises(ConfigurationError):
+        load_fault_plan(tmp_path / "missing.json")
+    (tmp_path / "list.json").write_text("[]")
+    with pytest.raises(ConfigurationError):
+        load_fault_plan(tmp_path / "list.json")
+    (tmp_path / "unknown.json").write_text(
+        json.dumps({"faults": [{"site": "stage:replay", "color": "red"}]})
+    )
+    with pytest.raises(ConfigurationError):
+        load_fault_plan(tmp_path / "unknown.json")

@@ -1,0 +1,106 @@
+"""Execution policies: retry/backoff determinism, deadlines, wire round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, RunTimeoutError, SimulationError
+from repro.resilience.policy import (
+    ExecutionPolicy,
+    RetryPolicy,
+    TimeoutPolicy,
+    active_policy,
+    check_deadline,
+    deadline_scope,
+    policy_scope,
+)
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(backoff_base_s=-1)
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(backoff_factor=0.5)
+    with pytest.raises(ConfigurationError):
+        RetryPolicy(jitter=1.0)
+    with pytest.raises(ConfigurationError):
+        TimeoutPolicy(run_timeout_s=0)
+
+
+def test_should_retry_bounds_attempts_and_filters_types():
+    policy = RetryPolicy(max_attempts=3)
+    transient = SimulationError("flaky")
+    assert policy.should_retry(transient, 1)
+    assert policy.should_retry(transient, 2)
+    assert not policy.should_retry(transient, 3)
+    # Configuration problems are permanent: never retried by default.
+    assert not policy.should_retry(ConfigurationError("bad scenario"), 1)
+    # Interrupts always propagate.
+    assert not policy.should_retry(KeyboardInterrupt(), 1)
+
+
+def test_retryable_allowlist_matches_the_mro():
+    policy = RetryPolicy(max_attempts=5, retryable=("OSError",))
+    assert policy.should_retry(ConnectionResetError(), 1)  # subclass of OSError
+    assert not policy.should_retry(ValueError(), 1)
+
+
+def test_backoff_grows_clamps_and_reproduces():
+    policy = RetryPolicy(
+        max_attempts=9,
+        backoff_base_s=0.1,
+        backoff_factor=2.0,
+        max_backoff_s=0.5,
+        jitter=0.0,
+    )
+    assert policy.backoff_s(1) == pytest.approx(0.1)
+    assert policy.backoff_s(2) == pytest.approx(0.2)
+    assert policy.backoff_s(3) == pytest.approx(0.4)
+    assert policy.backoff_s(4) == pytest.approx(0.5)  # clamped
+
+    jittered = RetryPolicy(max_attempts=9, jitter=0.5, seed=7)
+    first = [jittered.backoff_s(attempt, "scenario-a") for attempt in (1, 2, 3)]
+    again = [jittered.backoff_s(attempt, "scenario-a") for attempt in (1, 2, 3)]
+    other = [jittered.backoff_s(attempt, "scenario-b") for attempt in (1, 2, 3)]
+    assert first == again  # deterministic for the same key
+    assert first != other  # decorrelated across keys
+    assert all(sleep <= jittered.max_backoff_s for sleep in first + other)
+
+
+def test_policies_round_trip_through_dicts():
+    policy = ExecutionPolicy(
+        retry=RetryPolicy(max_attempts=4, retryable=("OSError", "SimulationError")),
+        timeout=TimeoutPolicy(run_timeout_s=12.5, grace_s=2.0),
+        degrade=False,
+    )
+    clone = ExecutionPolicy.from_dict(policy.to_dict())
+    assert clone == policy
+    assert clone.max_attempts == 4
+    assert clone.run_timeout_s == 12.5
+    assert clone.timeout.reclaim_timeout_s == pytest.approx(14.5)
+
+    bare = ExecutionPolicy.from_dict(ExecutionPolicy().to_dict())
+    assert bare.retry is None and bare.timeout is None and bare.degrade
+
+
+def test_policy_scope_exposes_and_restores():
+    assert active_policy() is None
+    policy = ExecutionPolicy(degrade=False)
+    with policy_scope(policy):
+        assert active_policy() is policy
+    assert active_policy() is None
+
+
+def test_deadline_scope_enforces_cooperatively():
+    check_deadline("anywhere")  # no deadline armed: no-op
+    with deadline_scope(None):
+        check_deadline("unbounded")
+    with deadline_scope(60.0):
+        check_deadline("plenty of budget")
+    with deadline_scope(0.0):
+        with pytest.raises(RunTimeoutError) as excinfo:
+            check_deadline("replay")
+    assert "replay" in str(excinfo.value)
+    check_deadline("after the scope")  # disarmed again

@@ -1,0 +1,68 @@
+"""Worker-death chaos: a SIGKILLed pool worker never hangs or loses a sweep.
+
+The ``kill`` fault action SIGKILLs the hosting worker process on a
+deterministic visit schedule (counters are per-process, so every freshly
+spawned worker follows the same schedule).  The parent detects the death
+through the pool's pid set, waits out a short grace period, then re-runs the
+presumed-lost scenarios serially — the parent never arms the plan on the
+pool path, so the re-runs cannot re-kill.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import SweepRunner, run_scenario
+from repro.experiments.spec import Scenario
+from repro.experiments.store import ResultStore
+from repro.resilience.faults import FaultPlan, FaultSpec
+
+TINY = dict(max_vertices=64, num_layers=4)
+
+#: Every worker process SIGKILLs itself on its second scenario.
+KILL_SECOND_VISIT = [FaultSpec(site="worker:execute", action="kill", after=1, times=1)]
+
+
+def _scenarios(count):
+    datasets = ["cora", "citeseer", "pubmed"]
+    return [
+        Scenario(dataset=datasets[i % 3], accelerator="sgcn", seed=i, **TINY)
+        for i in range(count)
+    ]
+
+
+def _run_with_kills(tmp_path, workers, count):
+    store = ResultStore(tmp_path / "cache")
+    runner = SweepRunner(
+        store=store,
+        workers=workers,
+        faults=FaultPlan(KILL_SECOND_VISIT),
+        force_pool=True,  # a killable pool even for workers=1
+        worker_grace_s=0.5,
+    )
+    return store, runner.run(_scenarios(count))
+
+
+@pytest.mark.parametrize("workers,count", [(1, 3), (2, 4)])
+def test_sigkilled_worker_costs_a_rerun_not_the_sweep(tmp_path, workers, count):
+    store, report = _run_with_kills(tmp_path, workers, count)
+    scenarios = _scenarios(count)
+    # Every scenario completes: survivors in the pool, the lost ones re-run
+    # serially in the parent after the grace period.
+    assert report.num_failed == 0
+    assert len(report.outcomes) == count
+    assert [o.scenario.scenario_id for o in report.outcomes] == [
+        s.scenario_id for s in scenarios
+    ]
+    for scenario, outcome in zip(scenarios, report.outcomes):
+        assert outcome.ok, outcome.error
+        assert store.contains(scenario)
+    # Accounting stays exact: nothing double-counted after the re-dispatch.
+    assert report.num_simulated == count
+    assert report.num_cached == 0
+
+
+def test_rerun_results_match_an_undisturbed_run(tmp_path):
+    _, report = _run_with_kills(tmp_path, 1, 3)
+    for scenario, outcome in zip(_scenarios(3), report.outcomes):
+        assert outcome.result.summary() == run_scenario(scenario).summary()

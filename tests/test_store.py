@@ -67,13 +67,43 @@ def test_cache_key_is_order_insensitive():
     assert scenario_cache_key(a) == scenario_cache_key(b)
 
 
-def test_corrupt_entry_is_a_miss(tmp_path, tiny_run):
+def test_corrupt_entry_is_quarantined_not_unlinked(tmp_path, tiny_run):
     scenario, result = tiny_run
     store = ResultStore(tmp_path / "cache")
     path = store.put(scenario, result)
     path.write_text("{not json", encoding="utf-8")
     assert store.get(scenario) is None
-    assert not path.exists()  # healed
+    assert not path.exists()  # healed: the key is a miss again
+    # The damaged file is preserved for forensics, not destroyed...
+    quarantined = store.quarantine_dir / path.name
+    assert quarantined.is_file()
+    assert quarantined.read_text(encoding="utf-8") == "{not json"
+    # ...and quarantined entries are invisible to iteration/len.
+    assert len(store) == 0
+    assert list(store.entries()) == []
+    assert store.stats()["corrupt"] == 1
+    assert store.stats()["misses"] >= 1
+
+
+def test_checksum_mismatch_is_detected_and_quarantined(tmp_path, tiny_run):
+    scenario, result = tiny_run
+    store = ResultStore(tmp_path / "cache")
+    path = store.put(scenario, result)
+    document = json.loads(path.read_text(encoding="utf-8"))
+    document["result"]["tampered"] = True  # bit-rot that still parses
+    path.write_text(json.dumps(document), encoding="utf-8")
+    assert store.get(scenario) is None  # checksum catches the tamper
+    assert (store.quarantine_dir / path.name).is_file()
+    assert store.stats()["corrupt"] == 1
+
+
+def test_store_counts_hits_misses_and_puts(tmp_path, tiny_run):
+    scenario, result = tiny_run
+    store = ResultStore(tmp_path / "cache")
+    assert store.get(scenario) is None
+    store.put(scenario, result)
+    assert store.get(scenario) is not None
+    assert store.stats() == {"hits": 1, "misses": 1, "corrupt": 0, "puts": 1}
 
 
 def test_entries_iterates_pairs(tmp_path, tiny_run):

@@ -16,7 +16,12 @@ pytest.importorskip("mypy")
 
 REPO = Path(__file__).resolve().parents[1]
 
-CHECKED_PACKAGES = ("repro.core", "repro.telemetry", "repro.analysis")
+CHECKED_PACKAGES = (
+    "repro.core",
+    "repro.telemetry",
+    "repro.analysis",
+    "repro.resilience",
+)
 
 
 def test_mypy_gate_passes():
