@@ -244,6 +244,16 @@ class RunContext:
     )
     #: Key prefix identifying the trace within the cache (None = uncached).
     trace_token: Optional[Tuple] = None
+    #: Sweep-provided cache capacities (in bytes) this run's trace will also
+    #: be evaluated at.  The replay stage answers the whole vector through
+    #: :meth:`ReplayEngine.replay_spectrum`, seeding the engine's result memo
+    #: so the sibling runs of a capacity sweep replay nothing at all.
+    capacity_spectrum: Tuple[int, ...] = ()
+    #: Cache capacity (in lines) the static schedule is planned for.  ``None``
+    #: falls back to ``cache_lines``; it differs only when the config carries a
+    #: ``schedule_capacity_bytes`` (a capacity-sweep override resizing the
+    #: physical cache under the design's nominal schedule).
+    schedule_cache_lines: Optional[int] = None
     #: Lazily-built replay engines (built on first vectorized replay, so the
     #: legacy backend never pays for a structure it will not use).
     replay_engine: Optional[ReplayEngine] = None
@@ -298,18 +308,29 @@ def _reordered_for_locality(graph: CSRGraph) -> CSRGraph:
     return graph
 
 
-def effective_cache_lines(dataset: Dataset, config: SystemConfig) -> int:
+def effective_cache_lines(
+    dataset: Dataset, config: SystemConfig, capacity_bytes: Optional[int] = None
+) -> int:
     """Cache capacity (in lines) used for ``dataset``.
 
     Datasets are simulated at a reduced scale; the cache is scaled by the
     same factor so the working-set-to-cache ratio of the paper's
     configuration is preserved, with a floor of a few dozen feature rows so
     tiny scaled graphs still exercise the cache at all.
+
+    ``capacity_bytes`` substitutes a different raw capacity for the config's
+    own (same line size, same scaling): the spectrum replay uses it to map
+    each swept capacity to the exact line count a config built with that
+    capacity override would produce.
     """
-    scaled = int(config.cache.num_lines * dataset.cache_scale())
+    if capacity_bytes is None:
+        num_lines = config.cache.num_lines
+    else:
+        num_lines = int(capacity_bytes) // config.cache.line_bytes
+    scaled = int(num_lines * dataset.cache_scale())
     dense_row_lines = bytes_to_lines(dataset.hidden_width * ELEMENT_BYTES)
     floor = 32 * dense_row_lines
-    return int(min(config.cache.num_lines, max(floor, scaled)))
+    return int(min(num_lines, max(floor, scaled)))
 
 
 def build_context(
@@ -319,6 +340,7 @@ def build_context(
     config: SystemConfig,
     trace_cache: Optional[TraceCache] = None,
     sparsity: Optional[SparsityProvider] = None,
+    capacity_spectrum: Sequence[int] = (),
 ) -> RunContext:
     """Stage 1: resolve the graph, the scaled cache, and the engine models."""
     # The legacy backend ignores the trace cache: the pre-vectorization
@@ -354,12 +376,16 @@ def build_context(
         graph=graph,
         config=config,
         cache_lines=effective_cache_lines(dataset, config),
+        schedule_cache_lines=effective_cache_lines(
+            dataset, config, config.cache.schedule_capacity
+        ),
         simd=SIMDAggregationEngine(config.engines),
         systolic=SystolicArray(config.engines),
         dram=DRAMModel(config.dram),
         energy_table=EnergyTable(),
         trace_cache=trace_cache,
         sparsity=sparsity,
+        capacity_spectrum=tuple(int(capacity) for capacity in capacity_spectrum),
     )
 
 
@@ -426,7 +452,10 @@ def schedule(context: RunContext) -> RunContext:
     graph = context.graph
     config = context.config
     dataset = context.dataset
-    cache_lines = context.cache_lines
+    # The static schedule (tiling, psum split, pinned rows) is planned for the
+    # schedule capacity; replay evaluates the physical one.  The two differ
+    # only when a sweep resizes the cache under a fixed design.
+    cache_lines = context.schedule_cache_lines or context.cache_lines
 
     hidden_width = dataset.hidden_width
     if design.assumed_tiling_sparsity is not None:
@@ -641,7 +670,23 @@ def _layer_replay(
     if get_replay_backend() == "vectorized":
         stats_list = batched
         if stats_list is None:
-            stats_list = context.engine().replay_many(pass_sizes, shared_capacity)
+            # Pinned designs replay per layer (their shared capacity depends
+            # on the pinned rows' sizes in this very table).  The pinned set
+            # is planned at the schedule capacity, so within a capacity sweep
+            # the subtraction maps the spectrum point-for-point and the
+            # sibling runs still share one evaluation per weight group.
+            spectrum = _spectrum_lines(context)
+            if spectrum and context.trace.size:
+                offset = shared_capacity - context.cache_lines
+                shared_spectrum = [max(1, lines + offset) for lines in spectrum]
+                stats_list = [
+                    per_table[0]
+                    for per_table in context.engine().replay_spectrum_many(
+                        pass_sizes, shared_spectrum
+                    )
+                ]
+            else:
+                stats_list = context.engine().replay_many(pass_sizes, shared_capacity)
         for stats in stats_list:
             aggregate.accesses += stats.accesses
             aggregate.hits += stats.hits
@@ -695,9 +740,31 @@ def _first_layer_replay(
     dense_row_lines = bytes_to_lines(first_workload.width_out * ELEMENT_BYTES)
     sizes = np.full(num_vertices, dense_row_lines, dtype=np.int64)
     if get_replay_backend() == "vectorized":
+        spectrum = _spectrum_lines(context)
+        if spectrum and context.trace.size:
+            return context.engine_full().replay_spectrum(sizes, spectrum)[0]
         return context.engine_full().replay(sizes, context.cache_lines)
     cache = RowCache(context.cache_lines)
     return cache.access_trace(context.trace, sizes)
+
+
+def _spectrum_lines(context: RunContext) -> List[int]:
+    """Capacity vector (in lines) for the batched spectrum replay.
+
+    Maps each swept capacity (bytes) through the same dataset scaling the
+    real configs use, leads with this run's own capacity, and drops
+    duplicates.  Empty — meaning "plain single-capacity replay" — when no
+    spectrum was provided or every entry collapses onto the run's capacity.
+    """
+    if not context.capacity_spectrum:
+        return []
+    lines = [context.cache_lines]
+    for capacity_bytes in context.capacity_spectrum:
+        lines.append(
+            effective_cache_lines(context.dataset, context.config, capacity_bytes)
+        )
+    deduped = list(dict.fromkeys(lines))
+    return deduped if len(deduped) > 1 else []
 
 
 def replay(
@@ -720,10 +787,35 @@ def replay(
     first, *intermediate = workloads
     sampled = _sample_layers(intermediate, max_sampled_layers) if intermediate else []
 
+    # The prepared tables depend on the schedule (feature passes) and the
+    # sparsity draw but not on any capacity or timing knob, so the sibling
+    # runs of a knob sweep share them through the trace cache — which also
+    # keeps the arrays *identical objects* across runs, letting the replay
+    # engine's id()-keyed token cache skip re-digesting them.
+    provider = context.sparsity or _SYNTHETIC_PROVIDER
     prepared: List[ReplayedLayer] = []
     for workload, weight in sampled:
-        row_nnz, row_lines = _layer_row_tables(fmt, workload, context, seed)
-        pass_sizes = _pass_size_tables(fmt, workload, context, row_lines)
+        def build(workload: LayerWorkload = workload) -> Tuple[np.ndarray, np.ndarray, List[np.ndarray]]:
+            row_nnz, row_lines = _layer_row_tables(fmt, workload, context, seed)
+            return row_nnz, row_lines, _pass_size_tables(fmt, workload, context, row_lines)
+
+        if context.trace_cache is not None and context.tiling is not None:
+            key = (
+                "row_tables",
+                provider,
+                fmt.cache_token(),
+                context.graph.fingerprint(),
+                workload.layer_index,
+                workload.width_in,
+                float(workload.input_sparsity),
+                seed,
+                context.tiling.feature_passes,
+            )
+            row_nnz, row_lines, pass_sizes = _trace_cache_get(
+                context.trace_cache, key, build
+            )
+        else:
+            row_nnz, row_lines, pass_sizes = build()
         prepared.append(
             ReplayedLayer(
                 workload=workload,
@@ -756,7 +848,20 @@ def replay(
         tables.append(
             np.full(context.graph.num_vertices, dense_row_lines, dtype=np.int64)
         )
-        stats = context.engine().replay_many(tables, context.cache_lines)
+        spectrum = _spectrum_lines(context)
+        if spectrum:
+            # This run's capacity leads the vector, so element 0 of each
+            # spectrum is the stats replay_many would have returned; the
+            # other capacities land in the engine memo for the sibling runs
+            # of the sweep (same trace, different cache knob).
+            stats = [
+                per_table[0]
+                for per_table in context.engine().replay_spectrum_many(
+                    tables, spectrum
+                )
+            ]
+        else:
+            stats = context.engine().replay_many(tables, context.cache_lines)
         cursor = 0
         for index, layer in enumerate(prepared):
             batched_layers[index] = stats[cursor : cursor + len(layer.pass_sizes)]
@@ -1131,6 +1236,7 @@ def simulate_design(
     trace_cache: Optional[TraceCache] = None,
     feature_format: Optional[FeatureFormat] = None,
     sparsity: Optional[SparsityProvider] = None,
+    capacity_spectrum: Sequence[int] = (),
 ) -> SimulationResult:
     """Run the full phase pipeline for one design on one dataset.
 
@@ -1156,6 +1262,12 @@ def simulate_design(
             its own tables (e.g. measured from a trained
             :class:`~repro.gcn.model.DeepGCN`); ``None`` keeps the synthetic
             behaviour byte for byte.
+        capacity_spectrum: Optional cache capacities (in bytes) to evaluate
+            the replay at *alongside* this run's own capacity.  The extra
+            results land in the replay engine's memo (shared through
+            ``trace_cache``), so the sibling runs of a cache-size sweep skip
+            their replay evaluations entirely.  The returned result is
+            byte-identical with or without a spectrum.
 
     Returns:
         A :class:`SimulationResult` covering every layer of the network.
@@ -1166,7 +1278,13 @@ def simulate_design(
     workloads = build_workloads(dataset, variant=variant)
     with span("build_context"):
         context = build_context(
-            design, fmt, dataset, config, trace_cache, sparsity=sparsity
+            design,
+            fmt,
+            dataset,
+            config,
+            trace_cache,
+            sparsity=sparsity,
+            capacity_spectrum=capacity_spectrum,
         )
     check_deadline("schedule")
     fault_point("stage:schedule")

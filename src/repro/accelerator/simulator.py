@@ -245,14 +245,16 @@ class AcceleratorModel:
         seed: int = 0,
         trace_cache: Optional[TraceCache] = None,
         sparsity: Optional[SparsityProvider] = None,
+        capacity_spectrum: Sequence[int] = (),
     ) -> SimulationResult:
         """Simulate a full deep-GCN inference on ``dataset``.
 
         See :func:`repro.accelerator.pipeline.simulate_design` for the
-        parameter semantics; this wrapper supplies the model's design point
-        and shared format instance.  If the legacy knob attributes were
-        mutated after construction, the mutated values win (the historical
-        subclass-attribute contract).
+        parameter semantics (including ``capacity_spectrum``, which seeds
+        the replay memo for a whole capacity sweep); this wrapper supplies
+        the model's design point and shared format instance.  If the legacy
+        knob attributes were mutated after construction, the mutated values
+        win (the historical subclass-attribute contract).
         """
         design = self._design
         fmt = self._format
@@ -279,6 +281,10 @@ class AcceleratorModel:
                 context = self._build_context(dataset, config, workloads, trace_cache)
             if sparsity is not None:
                 context.sparsity = sparsity
+            if capacity_spectrum:
+                context.capacity_spectrum = tuple(
+                    int(capacity) for capacity in capacity_spectrum
+                )
             return complete_run(
                 context,
                 workloads,
@@ -296,6 +302,7 @@ class AcceleratorModel:
             trace_cache=trace_cache,
             feature_format=fmt,
             sparsity=sparsity,
+            capacity_spectrum=capacity_spectrum,
         )
 
     # ------------------------------------------------------------------ #

@@ -9,6 +9,14 @@ caching; two minor helpers stay vectorized either way, so the baseline is if
 anything slightly fast).  The ratio of the two is the before/after of the
 engine, measured conservatively with the repository's own code.
 
+Sensitivity cases (schema v3) measure a second before/after on the
+vectorized engine alone: replay-knob sweep packs (cache-size,
+hbm-generation) timed under per-knob dispatch — every scenario in its own
+fresh session, the unit cost an ungrouped worker pool pays — versus grouped
+spectrum dispatch, where one session partitions the pack into replay-knob
+equivalence classes and answers each class's capacity vector in a single
+replay evaluation (:meth:`ReplayEngine.replay_spectrum`).
+
 Methodology:
 
 * each timed repeat uses a **fresh session** (cold trace cache, cold engine
@@ -46,24 +54,36 @@ from repro.telemetry.spans import reset_spans, set_enabled, span_snapshot
 
 #: Schema version of the BENCH JSON document.  v2 added the per-pack
 #: ``phases`` span breakdown (telemetry-profiled, measured outside the timed
-#: best-of repeats).
-BENCH_SCHEMA_VERSION = 2
+#: best-of repeats).  v3 added *sensitivity* cases: packs sweeping replay
+#: knobs (cache capacity, HBM generation) timed under per-knob dispatch
+#: (``vectorized_s`` — every scenario simulated independently in its own
+#: fresh session, the unit cost an ungrouped worker pool pays per scenario)
+#: versus grouped spectrum dispatch (``spectrum_s`` — one fresh session,
+#: :meth:`Session.run_many` partitioning the pack into replay-knob
+#: equivalence classes and answering each class's capacity vector in a
+#: single replay evaluation).
+BENCH_SCHEMA_VERSION = 3
 
 #: Default benchmark cases: ``(pack name, max_vertices)`` — ``None`` keeps
 #: the pack's default scale — with an optional third ``quick`` element
-#: selecting the pack's CI-smoke variant.  The main-comparison grid is
+#: selecting the pack's CI-smoke variant and an optional fourth
+#: ``sensitivity`` element switching the case to the per-knob-vs-spectrum
+#: protocol.  The main-comparison grid is
 #: measured at its default scale and at a 4x larger one where the replay
 #: dominates even more clearly; the design-space grid tracks the overhead
 #: of the DesignPoint/phase-pipeline path (24 derived design points per
 #: dataset, none of them a memoized built-in model); the quick
 #: sparsity-depth grid tracks the cost of measured-sparsity runs (DeepGCN
 #: training + mask harvesting inside the timed region — the harvest memo is
-#: cold in every fresh session).
+#: cold in every fresh session); the cache-size and hbm-generation
+#: sensitivity cases track the grouped/spectrum sweep path.
 DEFAULT_CASES: Tuple[Tuple, ...] = (
     ("paper-comparison", None),
     ("paper-comparison", 2048),
     ("design-space", None),
     ("sparsity-depth", None, True),
+    ("cache-size", 2048, False, True),
+    ("hbm-generation", 2048, False, True),
 )
 
 #: Case used by ``repro bench --quick`` (CI smoke): the smallest built-in
@@ -86,6 +106,14 @@ class PackBenchResult:
     legacy_s: Optional[float] = None
     trace_cache: Dict[str, int] = field(default_factory=dict)
     quick_pack: bool = False
+    #: Sensitivity protocol: ``vectorized_s`` is per-knob dispatch (every
+    #: scenario in its own fresh session) and ``spectrum_s`` is grouped
+    #: spectrum dispatch (one fresh session, ``run_many(grouped=True)``).
+    sensitivity: bool = False
+    spectrum_s: Optional[float] = None
+    #: Number of replay-knob equivalence classes the pack partitions into
+    #: (sensitivity cases only).
+    replay_classes: Optional[int] = None
     #: Span tree of one telemetry-profiled vectorized sweep (where the
     #: pack's wall-clock goes, stage by stage).  Profiled in a separate,
     #: untimed pass so instrumentation never perturbs the best-of numbers.
@@ -98,6 +126,13 @@ class PackBenchResult:
             return None
         return self.legacy_s / self.vectorized_s
 
+    @property
+    def spectrum_speedup(self) -> Optional[float]:
+        """Per-knob wall-clock divided by grouped spectrum wall-clock."""
+        if self.spectrum_s is None or self.spectrum_s <= 0:
+            return None
+        return self.vectorized_s / self.spectrum_s
+
     def to_dict(self) -> Dict[str, object]:
         """JSON-serialisable form (one entry of the BENCH document)."""
         return {
@@ -105,13 +140,34 @@ class PackBenchResult:
             "runs": self.runs,
             "max_vertices": self.max_vertices,
             "quick_pack": self.quick_pack,
+            "sensitivity": self.sensitivity,
             "repeats": self.repeats,
             "vectorized_s": round(self.vectorized_s, 4),
             "legacy_s": None if self.legacy_s is None else round(self.legacy_s, 4),
             "speedup": None if self.speedup is None else round(self.speedup, 2),
+            "spectrum_s": (
+                None if self.spectrum_s is None else round(self.spectrum_s, 4)
+            ),
+            "spectrum_speedup": (
+                None
+                if self.spectrum_speedup is None
+                else round(self.spectrum_speedup, 2)
+            ),
+            "replay_classes": self.replay_classes,
             "trace_cache": dict(self.trace_cache),
             "phases": dict(self.phases),
         }
+
+
+def _prewarm_datasets(session: Session, specs: Sequence) -> None:
+    """Synthesize every dataset a pack needs before the clock starts."""
+    for spec in specs:
+        session.load_dataset(
+            spec.dataset,
+            max_vertices=spec.max_vertices,
+            num_layers=spec.num_layers,
+            seed=spec.seed,
+        )
 
 
 def _time_sweep(specs: Sequence, repeats: int) -> Tuple[float, Session]:
@@ -120,18 +176,36 @@ def _time_sweep(specs: Sequence, repeats: int) -> Tuple[float, Session]:
     session: Optional[Session] = None
     for _ in range(max(1, repeats)):
         session = Session()
-        for spec in specs:
-            session.load_dataset(
-                spec.dataset,
-                max_vertices=spec.max_vertices,
-                num_layers=spec.num_layers,
-                seed=spec.seed,
-            )
+        _prewarm_datasets(session, specs)
         start = time.perf_counter()
         session.run_many(specs, annotate=False)
         best = min(best, time.perf_counter() - start)
     assert session is not None
     return best, session
+
+
+def _time_isolated(specs: Sequence, repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock of per-knob dispatch.
+
+    Every scenario is simulated in its own fresh session — nothing is
+    shared between knob settings, which is exactly the unit cost an
+    ungrouped worker pool pays per scenario (each worker session sees one
+    scenario of the class at a time, so sibling knob settings rebuild the
+    trace, the replay structure, and the per-layer tables from scratch).
+    Dataset synthesis is pre-warmed per session, as in :func:`_time_sweep`.
+    """
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        sessions = []
+        for spec in specs:
+            session = Session()
+            _prewarm_datasets(session, [spec])
+            sessions.append(session)
+        start = time.perf_counter()
+        for session, spec in zip(sessions, specs):
+            session.run(spec)
+        best = min(best, time.perf_counter() - start)
+    return best
 
 
 def _round_spans(spans: Dict[str, Dict[str, object]]) -> Dict[str, object]:
@@ -167,6 +241,7 @@ def bench_pack(
     repeats: int = DEFAULT_REPEATS,
     include_legacy: bool = True,
     quick_pack: bool = False,
+    sensitivity: bool = False,
 ) -> PackBenchResult:
     """Benchmark one scenario pack; restores the active backend afterwards.
 
@@ -174,16 +249,32 @@ def bench_pack(
     grid) instead of the full grid — used for packs whose full grid is too
     expensive to time per backend (the measured-sparsity grid trains a
     model per cell).
+
+    ``sensitivity`` switches to the replay-knob sweep protocol: both
+    numbers use the vectorized backend, ``vectorized_s`` timing per-knob
+    dispatch (every scenario simulated independently in its own fresh
+    session) and ``spectrum_s`` timing grouped dispatch (one fresh session,
+    ``run_many`` partitioning the pack into replay-knob equivalence classes
+    and answering each class's capacity spectrum in one replay
+    evaluation).  The legacy backend is not timed for sensitivity cases —
+    the before/after of interest is grouping, not vectorization.
     """
     specs = get_pack(name, max_vertices=max_vertices, quick=quick_pack).expand()
     previous = get_replay_backend()
+    spectrum_s = None
+    replay_classes = None
     try:
         set_replay_backend("vectorized")
-        vectorized_s, session = _time_sweep(specs, repeats)
+        if sensitivity:
+            vectorized_s = _time_isolated(specs, repeats)
+            spectrum_s, session = _time_sweep(specs, repeats)
+            replay_classes = len(session.replay_groups(specs))
+        else:
+            vectorized_s, session = _time_sweep(specs, repeats)
         trace_cache = session.trace_cache.stats()
         phases = _profile_sweep(specs)
         legacy_s = None
-        if include_legacy:
+        if include_legacy and not sensitivity:
             set_replay_backend("legacy")
             legacy_s, _ = _time_sweep(specs, repeats)
     finally:
@@ -197,6 +288,9 @@ def bench_pack(
         legacy_s=legacy_s,
         trace_cache=trace_cache,
         quick_pack=quick_pack,
+        sensitivity=sensitivity,
+        spectrum_s=spectrum_s,
+        replay_classes=replay_classes,
         phases=phases,
     )
 
@@ -212,8 +306,9 @@ def run_benchmarks(
 
     Args:
         cases: ``(pack name, max_vertices)`` pairs — optionally with a third
-            ``quick`` element selecting the pack's CI-smoke variant;
-            :data:`DEFAULT_CASES` when omitted.
+            ``quick`` element selecting the pack's CI-smoke variant and a
+            fourth ``sensitivity`` element selecting the per-knob-vs-spectrum
+            protocol; :data:`DEFAULT_CASES` when omitted.
         repeats: Timed repeats per backend (best-of).
         quick: CI smoke mode — the smallest pack at reduced scale, one
             repeat; overrides ``cases``/``repeats``.
@@ -231,6 +326,7 @@ def run_benchmarks(
     for case in cases:
         pack_name, max_vertices = case[0], case[1]
         quick_pack = bool(case[2]) if len(case) > 2 else False
+        sensitivity = bool(case[3]) if len(case) > 3 else False
         results.append(
             bench_pack(
                 pack_name,
@@ -238,6 +334,7 @@ def run_benchmarks(
                 repeats=repeats,
                 include_legacy=include_legacy,
                 quick_pack=quick_pack,
+                sensitivity=sensitivity,
             )
         )
 
@@ -246,8 +343,16 @@ def run_benchmarks(
     # backend-invariant work (DeepGCN training), so their ~1x speedup would
     # pin min/overall regardless of engine health — they are reported
     # per-entry but excluded from the aggregates (unless they are all there
-    # is, e.g. a custom quick-only invocation).
-    engine_results = [result for result in results if not result.quick_pack]
+    # is, e.g. a custom quick-only invocation).  Sensitivity cases measure a
+    # different before/after (per-knob vs grouped dispatch, both on the
+    # vectorized engine) and feed their own aggregate instead.
+    engine_results = [
+        result
+        for result in results
+        if not result.quick_pack and not result.sensitivity
+    ]
+    if not engine_results:
+        engine_results = [result for result in results if not result.sensitivity]
     if not engine_results:
         engine_results = results
     total_vectorized = sum(result.vectorized_s for result in engine_results)
@@ -256,6 +361,11 @@ def run_benchmarks(
     ]
     speedups = [
         result.speedup for result in engine_results if result.speedup is not None
+    ]
+    spectrum_speedups = [
+        result.spectrum_speedup
+        for result in results
+        if result.spectrum_speedup is not None
     ]
     document: Dict[str, object] = {
         "benchmark": "trace_engine",
@@ -266,6 +376,14 @@ def run_benchmarks(
             "legacy replay backend: pre-vectorization engine "
             "(per-access RowCache replay, loop-based trace generation, "
             "no trace caching)"
+        ),
+        "sensitivity_baseline": (
+            "per-knob dispatch: every scenario of a replay-knob sweep "
+            "simulated independently in its own fresh session (the unit "
+            "cost ungrouped pool dispatch pays); spectrum_s instead runs "
+            "the pack grouped into replay-knob equivalence classes in one "
+            "fresh session, answering each class's capacity spectrum in a "
+            "single replay evaluation"
         ),
         "platform": {
             "python": sys.version.split()[0],
@@ -285,6 +403,9 @@ def run_benchmarks(
                 else None
             ),
             "min_speedup": round(min(speedups), 2) if speedups else None,
+            "min_spectrum_speedup": (
+                round(min(spectrum_speedups), 2) if spectrum_speedups else None
+            ),
         },
     }
     if out is not None:

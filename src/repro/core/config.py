@@ -16,7 +16,7 @@ engines, HBM generation) can sweep them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, Optional
 
 from repro.errors import ConfigurationError
 
@@ -36,12 +36,20 @@ class CacheConfig:
         ways: Set associativity (paper default 16).
         line_bytes: Cacheline size in bytes (64 B).
         replacement: Replacement policy name; only ``"lru"`` is implemented.
+        schedule_capacity_bytes: Capacity the *static schedule* (tiling, psum
+            buffer split, pinned-row selection) is planned for.  ``None`` means
+            the schedule is planned for ``capacity_bytes`` — the default, and
+            the only behaviour before capacity sensitivity sweeps existed.
+            Sweeps that resize the physical cache under a fixed design set this
+            to the nominal capacity so every capacity point shares one trace
+            and schedule and only the replay hit test changes.
     """
 
     capacity_bytes: int = 512 * 1024
     ways: int = 16
     line_bytes: int = CACHELINE_BYTES
     replacement: str = "lru"
+    schedule_capacity_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.capacity_bytes <= 0:
@@ -57,6 +65,15 @@ class CacheConfig:
             )
         if self.replacement not in ("lru",):
             raise ConfigurationError(f"unsupported replacement policy: {self.replacement!r}")
+        if self.schedule_capacity_bytes is not None and self.schedule_capacity_bytes <= 0:
+            raise ConfigurationError("schedule capacity must be positive")
+
+    @property
+    def schedule_capacity(self) -> int:
+        """Capacity in bytes the static schedule is planned for."""
+        if self.schedule_capacity_bytes is not None:
+            return self.schedule_capacity_bytes
+        return self.capacity_bytes
 
     @property
     def num_sets(self) -> int:
@@ -78,7 +95,10 @@ class CacheConfig:
         """
         unit = self.ways * self.line_bytes
         capacity = max(unit, int(round(self.capacity_bytes * factor / unit)) * unit)
-        return replace(self, capacity_bytes=capacity)
+        schedule = self.schedule_capacity_bytes
+        if schedule is not None:
+            schedule = max(unit, int(round(schedule * factor / unit)) * unit)
+        return replace(self, capacity_bytes=capacity, schedule_capacity_bytes=schedule)
 
 
 @dataclass(frozen=True)

@@ -112,7 +112,17 @@ def build_config(
         engines = replace(engines, frequency_ghz=float(overrides["frequency_ghz"]))
 
     if "cache_capacity_bytes" in overrides:
-        cache = replace(cache, capacity_bytes=int(overrides["cache_capacity_bytes"]))
+        capacity = int(overrides["cache_capacity_bytes"])
+        if capacity != cache.capacity_bytes:
+            # A capacity override models resizing the physical cache under the
+            # design's nominal schedule: tiling/psum/pinned planning stays at
+            # the base capacity so every point of a capacity sweep shares one
+            # trace, and only the replay hit test sees the new size.
+            cache = replace(
+                cache,
+                capacity_bytes=capacity,
+                schedule_capacity_bytes=cache.schedule_capacity,
+            )
     if "cache_ways" in overrides:
         cache = replace(cache, ways=int(overrides["cache_ways"]))
 

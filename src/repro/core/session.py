@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import logging
 from collections import OrderedDict
+from dataclasses import replace as _dc_replace
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.accelerator.design import DESIGN_KNOBS, DesignPoint
@@ -74,6 +75,60 @@ ProgressCallback = Callable[[int, RunSpec, SimulationResult], None]
 #: ``on_error`` callback signature of :meth:`Session.run_many`:
 #: ``(index, spec, exception)``.
 ErrorCallback = Callable[[int, RunSpec, Exception], None]
+
+#: Config overrides that never change the schedule knobs feeding the access
+#: trace: the cache capacity only selects *which* capacity the shared replay
+#: structure is evaluated at, and the rest are pure timing/energy pricing
+#: (DRAM model, frequency, engine shapes).  Two specs differing only in these
+#: knobs form one **replay-knob equivalence class**: run back to back they
+#: share every trace-cache entry, and a capacity spectrum covering the class
+#: lets the first run seed the replay memo for all of them.  (A capacity
+#: override *can* shift the tiling plan and thus the trace; the grouping is
+#: then merely less effective — each run still builds and evaluates its own
+#: context, so results never depend on the class assignment.)
+REPLAY_KNOB_OVERRIDES = frozenset(
+    {
+        "cache_capacity_bytes",
+        "cache_ways",
+        "dram",
+        "dram_bandwidth_gbps",
+        "frequency_ghz",
+        "num_combination_engines",
+        "pipeline_phases",
+        "simd_width",
+        "systolic_cols",
+        "systolic_rows",
+    }
+)
+
+
+def replay_class_key(spec: RunSpec) -> Tuple:
+    """Replay-knob equivalence class of ``spec``.
+
+    Everything that feeds trace generation — dataset identity and scale,
+    variant, seed, format, design point, sparsity mode, and the
+    schedule-shaping config overrides — is part of the key; the
+    :data:`REPLAY_KNOB_OVERRIDES` are excluded.
+    """
+    shared_overrides = tuple(
+        (name, value)
+        for name, value in sorted(spec.overrides.items())
+        if name not in REPLAY_KNOB_OVERRIDES
+    )
+    design = tuple(sorted(spec.design.items())) if spec.design else None
+    return (
+        spec.dataset,
+        spec.accelerator,
+        spec.variant,
+        spec.seed,
+        spec.max_vertices,
+        spec.max_sampled_layers,
+        spec.num_layers,
+        spec.feature_format,
+        design,
+        spec.sparsity,
+        shared_overrides,
+    )
 
 
 class Session:
@@ -373,6 +428,7 @@ class Session:
         accelerator: Optional[AcceleratorModel] = None,
         config: Optional[SystemConfig] = None,
         annotate: bool = False,
+        capacity_spectrum: Sequence[int] = (),
     ) -> SimulationResult:
         """Execute one :class:`RunSpec` and return its result.
 
@@ -387,6 +443,12 @@ class Session:
                 this run (spec overrides still apply on top).
             annotate: Record ``scenario_id``/``scenario`` in the result's
                 metadata (the experiment harness convention).
+            capacity_spectrum: Cache capacities (bytes) the replay should be
+                evaluated at alongside this run's own — see
+                :func:`repro.accelerator.pipeline.simulate_design`.  The
+                result is byte-identical with or without a spectrum; the
+                extra capacities only pre-seed the replay memo shared through
+                the session's trace cache.
         """
         if accelerator is not None and spec.feature_format is not None:
             raise ConfigurationError(
@@ -440,6 +502,7 @@ class Session:
                 seed=spec.seed,
                 trace_cache=self._traces,
                 sparsity=self.sparsity_provider(spec.sparsity),
+                capacity_spectrum=capacity_spectrum,
             )
         except SparsityHarvestError as exc:
             # Graceful degradation: when an ExecutionPolicy permitting it is
@@ -461,6 +524,7 @@ class Session:
                 seed=spec.seed,
                 trace_cache=self._traces,
                 sparsity=self.sparsity_provider("synthetic"),
+                capacity_spectrum=capacity_spectrum,
             )
             result.metadata["degraded"] = True
             result.metadata["degraded_reason"] = str(exc)
@@ -469,6 +533,25 @@ class Session:
             result.metadata["scenario"] = spec.to_dict()
         return result
 
+    def _spec_capacity_bytes(self, spec: RunSpec) -> int:
+        """Effective cache capacity (bytes) a run of ``spec`` would use."""
+        override = spec.overrides.get("cache_capacity_bytes")
+        if override is not None:
+            return int(override)  # type: ignore[call-overload]
+        base = self.base_config if self.base_config is not None else SystemConfig()
+        return int(base.cache.capacity_bytes)
+
+    def replay_groups(self, specs: Sequence[RunSpec]) -> List[List[int]]:
+        """Partition spec indices into replay-knob equivalence classes.
+
+        Classes appear in order of their first member; members keep their
+        original relative order.  See :func:`replay_class_key`.
+        """
+        groups: "OrderedDict[Tuple, List[int]]" = OrderedDict()
+        for index, spec in enumerate(specs):
+            groups.setdefault(replay_class_key(spec), []).append(index)
+        return list(groups.values())
+
     def run_many(
         self,
         specs: Sequence[RunSpec],
@@ -476,34 +559,99 @@ class Session:
         annotate: bool = True,
         progress: Optional[ProgressCallback] = None,
         on_error: Optional[ErrorCallback] = None,
+        grouped: bool = True,
     ) -> List[Optional[SimulationResult]]:
         """Execute a batch of specs, reusing memoized datasets/accelerators.
 
+        With ``grouped`` (the default) the batch is partitioned into
+        replay-knob equivalence classes (:func:`replay_class_key`) and
+        executed class by class: same-class runs share every trace-cache
+        entry while it is hottest, and a class sweeping the cache capacity
+        passes the whole capacity vector to its runs so the first one
+        answers the spectrum in a single replay evaluation
+        (:meth:`ReplayEngine.replay_spectrum`).  Results are byte-identical
+        to the ungrouped order and are returned in input order; only the
+        execution (and therefore ``progress``) order changes, with original
+        indices reported.
+
         Args:
-            specs: Run descriptions, executed in order.
+            specs: Run descriptions.
             annotate: Record each spec's identity in its result metadata.
-            progress: Called as ``(index, spec, result)`` after each success.
+            progress: Called as ``(index, spec, result)`` after each success,
+                with ``index`` the spec's position in ``specs``.
             on_error: Called as ``(index, spec, exception)`` when a run fails;
                 the failed slot becomes ``None`` and the batch continues.
                 Without it the first failure propagates.
+            grouped: Group specs by replay-knob equivalence class before
+                executing (``False`` restores strict input-order execution).
 
         Returns:
-            One result per spec (``None`` for isolated failures).
+            One result per spec (``None`` for isolated failures), in input
+            order.
         """
-        results: List[Optional[SimulationResult]] = []
-        for index, spec in enumerate(specs):
-            try:
-                result = self.run(spec, annotate=annotate)
-            except Exception as exc:  # noqa: BLE001 — isolation is opt-in
-                if on_error is None:
-                    raise
-                on_error(index, spec, exc)
-                results.append(None)
-                continue
-            if progress is not None:
-                progress(index, spec, result)
-            results.append(result)
+        specs = list(specs)
+        if grouped and len(specs) > 1:
+            groups = self.replay_groups(specs)
+        else:
+            groups = [[index] for index in range(len(specs))]
+        results: List[Optional[SimulationResult]] = [None] * len(specs)
+        for group in groups:
+            capacities = list(
+                dict.fromkeys(self._spec_capacity_bytes(specs[i]) for i in group)
+            )
+            spectrum: Tuple[int, ...] = (
+                tuple(capacities) if len(capacities) > 1 else ()
+            )
+            for index in group:
+                spec = specs[index]
+                try:
+                    result = self.run(
+                        spec, annotate=annotate, capacity_spectrum=spectrum
+                    )
+                except Exception as exc:  # noqa: BLE001 — isolation is opt-in
+                    if on_error is None:
+                        raise
+                    on_error(index, spec, exc)
+                    continue
+                if progress is not None:
+                    progress(index, spec, result)
+                results[index] = result
         return results
+
+    def run_spectrum(
+        self,
+        spec: RunSpec,
+        capacities: Sequence[int],
+        *,
+        annotate: bool = True,
+    ) -> List[SimulationResult]:
+        """Run one spec at each cache capacity, sharing everything else.
+
+        Builds one sibling spec per capacity (``cache_capacity_bytes``
+        override, in bytes) and executes them as one replay-knob class:
+        topology, schedule, trace, and replay structure are built once, and
+        the replay itself is answered for the whole capacity vector in one
+        evaluation.  Results are byte-identical to running each capacity
+        through :meth:`run` individually.
+
+        Args:
+            spec: The base run description; an existing
+                ``cache_capacity_bytes`` override is replaced per capacity.
+            capacities: Cache capacities in bytes, in the order the results
+                should come back (duplicates allowed).
+            annotate: Record each sibling spec's identity in its result
+                metadata.
+
+        Returns:
+            One :class:`SimulationResult` per requested capacity, in order.
+        """
+        siblings = []
+        for capacity in capacities:
+            overrides = dict(spec.overrides)
+            overrides["cache_capacity_bytes"] = int(capacity)
+            siblings.append(_dc_replace(spec, overrides=overrides))
+        results = self.run_many(siblings, annotate=annotate, grouped=True)
+        return [result for result in results if result is not None]
 
     def compare(
         self, specs: Sequence[RunSpec], baseline: str = "gcnax"
@@ -586,7 +734,9 @@ def reset_default_session() -> None:
 
 
 __all__ = [
+    "REPLAY_KNOB_OVERRIDES",
     "Session",
     "default_session",
+    "replay_class_key",
     "reset_default_session",
 ]

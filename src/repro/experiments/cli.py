@@ -266,6 +266,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="CI smoke mode: the pack's reduced-scale, tiny-grid variant",
     )
     sweep_parser.add_argument(
+        "--no-group",
+        action="store_true",
+        help=(
+            "dispatch scenarios strictly in input order instead of grouping "
+            "them into replay-knob equivalence classes (results are "
+            "byte-identical either way; grouping only changes execution "
+            "order and wall-clock)"
+        ),
+    )
+    sweep_parser.add_argument(
         "--profile",
         action="store_true",
         help=(
@@ -657,6 +667,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             checkpoint_path=str(pack_dir / CHECKPOINT_FILENAME),
             checkpoint_interval=args.checkpoint_interval,
             resume=args.resume,
+            grouped=not args.no_group,
         )
         OUT.info(
             f"sweep {spec.name}: {len(scenarios)} scenarios, "
@@ -748,6 +759,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         pack_label = entry["pack"] + (
             " (quick)" if entry.get("quick_pack") else ""
         )
+        if entry.get("sensitivity"):
+            # Sensitivity protocol: per-knob dispatch vs grouped spectrum
+            # dispatch, both on the vectorized engine.
+            line = (
+                f"{pack_label:<18} scale={scale:<8} runs={entry['runs']:<4} "
+                f"per-knob={entry['vectorized_s']:.3f}s  "
+                f"spectrum={entry['spectrum_s']:.3f}s  "
+                f"speedup={entry['spectrum_speedup']:.2f}x  "
+                f"classes={entry['replay_classes']}"
+            )
+            OUT.data(line)
+            continue
         line = (
             f"{pack_label:<18} scale={scale:<8} runs={entry['runs']:<4} "
             f"vectorized={entry['vectorized_s']:.3f}s"
@@ -761,6 +784,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"overall: {summary['total_legacy_s']:.3f}s -> "
             f"{summary['total_vectorized_s']:.3f}s "
             f"({summary['overall_speedup']:.2f}x)"
+        )
+    if summary.get("min_spectrum_speedup") is not None:
+        OUT.data(
+            f"spectrum dispatch: min {summary['min_spectrum_speedup']:.2f}x "
+            "over per-knob dispatch"
         )
     OUT.info(f"wrote {args.out}")
     return 0

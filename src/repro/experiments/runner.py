@@ -45,8 +45,9 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core.config import SystemConfig
 from repro.core.results import SimulationResult
-from repro.core.session import Session, default_session
+from repro.core.session import Session, default_session, replay_class_key
 from repro.errors import ConfigurationError, RunTimeoutError
 from repro.experiments.spec import Scenario
 from repro.experiments.store import ResultStore
@@ -76,7 +77,9 @@ _POOL_POLL_S = 0.05
 
 
 def run_scenario(
-    scenario: Scenario, session: Optional[Session] = None
+    scenario: Scenario,
+    session: Optional[Session] = None,
+    capacity_spectrum: Sequence[int] = (),
 ) -> SimulationResult:
     """Execute one scenario in the current process.
 
@@ -89,8 +92,12 @@ def run_scenario(
         scenario: The run to execute (validated against the registries).
         session: Session to execute under; the process-wide default session
             when omitted, so repeated calls share memoized datasets.
+        capacity_spectrum: Cache capacities (bytes) of the scenario's
+            replay-knob class; identity-neutral, see :meth:`Session.run`.
     """
-    return (session or default_session()).run(scenario, annotate=True)
+    return (session or default_session()).run(
+        scenario, annotate=True, capacity_spectrum=capacity_spectrum
+    )
 
 
 #: Per-worker-process session, so the scenarios of one pool chunk reuse
@@ -118,6 +125,7 @@ def _execute_payload(
     scenario: Scenario,
     profile: bool,
     policy: Optional[ExecutionPolicy] = None,
+    capacity_spectrum: Sequence[int] = (),
 ) -> Dict[str, object]:
     """Run one scenario and build the wire payload (serial and pool path).
 
@@ -155,7 +163,11 @@ def _execute_payload(
                 try:
                     fault_point("worker:execute")
                     with deadline_scope(policy.run_timeout_s):
-                        result = run_scenario(scenario, session=session)
+                        result = run_scenario(
+                            scenario,
+                            session=session,
+                            capacity_spectrum=capacity_spectrum,
+                        )
                 except Exception as exc:  # noqa: BLE001 — isolation is the point
                     if retry is not None and retry.should_retry(exc, attempts):
                         logger.warning(
@@ -230,6 +242,94 @@ def _worker_execute(
             "degraded": False,
         }
     return index, _execute_payload(_worker_session(), scenario, profile, policy)
+
+
+def _worker_execute_group(
+    payload: Tuple[
+        List[int],
+        List[Dict[str, object]],
+        bool,
+        Optional[Dict[str, object]],
+        Optional[Dict[str, object]],
+        List[int],
+    ]
+) -> List[Tuple[int, Dict[str, object]]]:
+    """Pool entry point: run one replay-knob class on one worker, never raise.
+
+    Dispatching the whole class as a single task pins it to one worker
+    session, so the class's trace, schedule, and spectrum-seeded replay memo
+    are shared across its scenarios instead of being rebuilt wherever the
+    scheduler happened to scatter them.  Each scenario still produces its own
+    :func:`_execute_payload` dictionary (telemetry deltas, retries, and
+    errors stay per-scenario).
+    """
+    indices, scenario_dicts, profile, plan_dict, policy_dict, spectrum = payload
+    if plan_dict is not None and active_faults() is None:
+        arm_faults(FaultPlan.from_dict(plan_dict))
+    policy = (
+        ExecutionPolicy.from_dict(policy_dict) if policy_dict is not None else None
+    )
+    results: List[Tuple[int, Dict[str, object]]] = []
+    for index, scenario_dict in zip(indices, scenario_dicts):
+        started = time.perf_counter()  # repro: noqa[N1] run/sweep wall-clock reporting; never enters simulated results
+        try:
+            scenario = Scenario.from_dict(scenario_dict)
+        except Exception as exc:  # noqa: BLE001 — a bad payload must not kill the pool
+            results.append(
+                (
+                    index,
+                    {
+                        "ok": False,
+                        "error": _error_block(exc),
+                        "elapsed_s": time.perf_counter() - started,  # repro: noqa[N1] run/sweep wall-clock reporting; never enters simulated results
+                        "attempts": 1,
+                        "timed_out": False,
+                        "degraded": False,
+                    },
+                )
+            )
+            continue
+        results.append(
+            (
+                index,
+                _execute_payload(
+                    _worker_session(),
+                    scenario,
+                    profile,
+                    policy,
+                    capacity_spectrum=tuple(spectrum),
+                ),
+            )
+        )
+    return results
+
+
+def _replay_knob_groups(
+    pending: Sequence[Tuple[int, Scenario]],
+) -> List[Tuple[List[Tuple[int, Scenario]], Tuple[int, ...]]]:
+    """Partition pending scenarios into dispatch units.
+
+    Returns one ``(members, capacity_spectrum)`` task per replay-knob
+    equivalence class (:func:`repro.core.session.replay_class_key`), in order
+    of first appearance; members keep their relative order.  The spectrum is
+    the class's distinct cache capacities — empty unless the class actually
+    sweeps the capacity knob.
+    """
+    base_capacity = int(SystemConfig().cache.capacity_bytes)
+    groups: "OrderedDict[Tuple, List[Tuple[int, Scenario]]]" = OrderedDict()
+    for index, scenario in pending:
+        groups.setdefault(replay_class_key(scenario), []).append((index, scenario))
+    tasks: List[Tuple[List[Tuple[int, Scenario]], Tuple[int, ...]]] = []
+    for members in groups.values():
+        capacities = list(
+            dict.fromkeys(
+                int(scenario.overrides.get("cache_capacity_bytes", base_capacity))  # type: ignore[call-overload]
+                for _, scenario in members
+            )
+        )
+        spectrum = tuple(capacities) if len(capacities) > 1 else ()
+        tasks.append((members, spectrum))
+    return tasks
 
 
 @dataclass
@@ -384,17 +484,24 @@ class SweepReport:
 
 
 class _InFlight:
-    """Parent-side bookkeeping for one dispatched pool task."""
+    """Parent-side bookkeeping for one dispatched pool task.
 
-    __slots__ = ("scenario", "async_result", "dispatched_at")
+    A task is one replay-knob class: ``members`` holds its
+    ``(index, scenario)`` pairs (a single-scenario task is just a class of
+    one), and ``spectrum`` the class's capacity vector.
+    """
+
+    __slots__ = ("members", "spectrum", "async_result", "dispatched_at")
 
     def __init__(
         self,
-        scenario: Scenario,
+        members: List[Tuple[int, Scenario]],
+        spectrum: Tuple[int, ...],
         async_result: "multiprocessing.pool.AsyncResult",
         dispatched_at: float,
     ) -> None:
-        self.scenario = scenario
+        self.members = members
+        self.spectrum = spectrum
         self.async_result = async_result
         self.dispatched_at = dispatched_at
 
@@ -441,6 +548,13 @@ class SweepRunner:
         worker_grace_s: After a worker death is detected, how long still
             in-flight tasks may finish before they are presumed lost and
             re-dispatched serially.
+        grouped: Partition scenarios into replay-knob equivalence classes
+            before dispatch (:func:`_replay_knob_groups`).  A class executes
+            back-to-back on one session — the whole class on one pool worker
+            — so trace/schedule/replay structures build once per class and a
+            capacity-sweep class answers its spectrum in a single replay
+            evaluation.  Results, checkpointing, and per-scenario telemetry
+            are identical either way; only the execution order changes.
     """
 
     def __init__(
@@ -457,6 +571,7 @@ class SweepRunner:
         resume: bool = False,
         force_pool: bool = False,
         worker_grace_s: float = 5.0,
+        grouped: bool = True,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("workers must be at least 1")
@@ -478,6 +593,7 @@ class SweepRunner:
         self.resume = resume
         self.force_pool = force_pool
         self.worker_grace_s = worker_grace_s
+        self.grouped = grouped
 
     # ------------------------------------------------------------------ #
     def run(
@@ -538,10 +654,14 @@ class SweepRunner:
                 pending.append((index, scenario))
 
         if pending:
-            if self.workers == 1 and not self.force_pool:
-                self._run_serial(pending, record)
+            if self.grouped:
+                tasks = _replay_knob_groups(pending)
             else:
-                self._run_pool(pending, record)
+                tasks = [([item], ()) for item in pending]
+            if self.workers == 1 and not self.force_pool:
+                self._run_serial(tasks, record)
+            else:
+                self._run_pool(tasks, record)
 
         if checkpoint is not None:
             checkpoint.flush()
@@ -672,10 +792,10 @@ class SweepRunner:
 
     def _run_serial(
         self,
-        pending: Sequence[Tuple[int, Scenario]],
+        tasks: Sequence[Tuple[List[Tuple[int, Scenario]], Tuple[int, ...]]],
         record: Callable[[int, RunOutcome], None],
     ) -> None:
-        """Run the pending scenarios in-process through one shared session.
+        """Run the pending tasks in-process through one shared session.
 
         Each scenario goes through the same :func:`_execute_payload` path as
         a pool worker, so serial and parallel sweeps produce identical
@@ -687,29 +807,39 @@ class SweepRunner:
         session = Session()
         token = arm_faults(self.faults) if self.faults is not None else None
         try:
-            for index, scenario in pending:
-                payload = _execute_payload(session, scenario, self.profile, self.policy)
-                self._finish(index, scenario, payload, record)
+            for members, spectrum in tasks:
+                for index, scenario in members:
+                    payload = _execute_payload(
+                        session,
+                        scenario,
+                        self.profile,
+                        self.policy,
+                        capacity_spectrum=spectrum,
+                    )
+                    self._finish(index, scenario, payload, record)
         finally:
             if token is not None:
                 disarm_faults(token)
 
     def _run_pool(
         self,
-        pending: Sequence[Tuple[int, Scenario]],
+        tasks: Sequence[Tuple[List[Tuple[int, Scenario]], Tuple[int, ...]]],
         record: Callable[[int, RunOutcome], None],
     ) -> None:
         """Windowed ``apply_async`` dispatch with reclamation and death watch.
 
-        At most ``workers`` tasks are in flight at a time.  Three things can
-        happen to a task: it completes (normal path); it exceeds the
-        policy's reclamation budget (recorded as a timed-out failure, the
-        pool is terminated at the end rather than joined); or its worker
-        dies (pid-set change) — after ``worker_grace_s`` every task still in
-        flight is presumed lost and re-dispatched on the serial path, so a
-        SIGKILLed worker costs a re-run, never a hung or incomplete sweep.
+        At most ``workers`` tasks are in flight at a time; a task is one
+        replay-knob class (a single scenario when grouping is off), so a
+        class's scenarios share one worker session.  Three things can happen
+        to a task: it completes (normal path); it exceeds the policy's
+        reclamation budget, scaled by the class size (every member recorded
+        as a timed-out failure, the pool is terminated at the end rather
+        than joined); or its worker dies (pid-set change) — after
+        ``worker_grace_s`` every task still in flight is presumed lost and
+        re-dispatched on the serial path, so a SIGKILLed worker costs a
+        re-run, never a hung or incomplete sweep.
         """
-        queue = deque(pending)
+        queue = deque(tasks)
         workers = min(self.workers, len(queue))
         context = multiprocessing.get_context(self.mp_context)
         plan_dict = self.faults.to_dict() if self.faults is not None else None
@@ -717,7 +847,7 @@ class SweepRunner:
         reclaim_s: Optional[float] = None
         if self.policy.timeout is not None:
             reclaim_s = self.policy.timeout.reclaim_timeout_s
-        lost: List[Tuple[int, Scenario]] = []
+        lost: List[Tuple[int, Scenario, Tuple[int, ...]]] = []
         reclaimed = False
         pool = context.Pool(processes=workers)
         try:
@@ -726,67 +856,90 @@ class SweepRunner:
             death_detected_at: Optional[float] = None
             while queue or in_flight:
                 while queue and len(in_flight) < workers:
-                    index, scenario = queue.popleft()
+                    members, spectrum = queue.popleft()
                     wire = (
-                        index,
-                        scenario.to_dict(),
+                        [index for index, _ in members],
+                        [scenario.to_dict() for _, scenario in members],
                         self.profile,
                         plan_dict,
                         policy_dict,
+                        list(spectrum),
                     )
-                    in_flight[index] = _InFlight(
-                        scenario,
-                        pool.apply_async(_worker_execute, (wire,)),
+                    in_flight[members[0][0]] = _InFlight(
+                        members,
+                        spectrum,
+                        pool.apply_async(_worker_execute_group, (wire,)),
                         time.monotonic(),  # repro: noqa[N1] pool dispatch bookkeeping; never enters simulated results
                     )
                 progressed = False
                 now = time.monotonic()  # repro: noqa[N1] pool dispatch bookkeeping; never enters simulated results
-                for index in list(in_flight):
-                    task = in_flight[index]
+                for task_key in list(in_flight):
+                    task = in_flight[task_key]
                     if task.async_result.ready():
-                        del in_flight[index]
+                        del in_flight[task_key]
                         progressed = True
                         try:
-                            _, payload = task.async_result.get()
+                            payloads = dict(task.async_result.get())
                         except Exception as exc:  # noqa: BLE001 — e.g. an unpicklable result
-                            payload = {
-                                "ok": False,
-                                "error": _error_block(exc),
-                                "elapsed_s": now - task.dispatched_at,
-                                "attempts": 1,
+                            error = _error_block(exc)
+                            payloads = {
+                                index: {
+                                    "ok": False,
+                                    "error": error,
+                                    "elapsed_s": now - task.dispatched_at,
+                                    "attempts": 1,
+                                }
+                                for index, _ in task.members
                             }
-                        self._finish(index, task.scenario, payload, record)
+                        for index, scenario in task.members:
+                            payload = payloads.get(
+                                index,
+                                {
+                                    "ok": False,
+                                    "error": {
+                                        "type": "RuntimeError",
+                                        "message": "worker returned no payload "
+                                        "for this scenario",
+                                        "traceback": "",
+                                    },
+                                    "elapsed_s": 0.0,
+                                    "attempts": 1,
+                                },
+                            )
+                            self._finish(index, scenario, payload, record)
                     elif (
                         reclaim_s is not None
-                        and now - task.dispatched_at >= reclaim_s
+                        and now - task.dispatched_at >= reclaim_s * len(task.members)
                     ):
-                        del in_flight[index]
+                        del in_flight[task_key]
                         progressed = True
                         reclaimed = True
-                        logger.warning(
-                            "reclaiming %s: no result within %.1fs",
-                            task.scenario.scenario_id,
-                            reclaim_s,
-                        )
-                        self._finish(
-                            index,
-                            task.scenario,
-                            {
-                                "ok": False,
-                                "error": {
-                                    "type": "RunTimeoutError",
-                                    "message": (
-                                        "worker produced no result within "
-                                        f"{reclaim_s:.1f}s; task reclaimed"
-                                    ),
-                                    "traceback": "",
+                        budget = reclaim_s * len(task.members)
+                        for index, scenario in task.members:
+                            logger.warning(
+                                "reclaiming %s: no result within %.1fs",
+                                scenario.scenario_id,
+                                budget,
+                            )
+                            self._finish(
+                                index,
+                                scenario,
+                                {
+                                    "ok": False,
+                                    "error": {
+                                        "type": "RunTimeoutError",
+                                        "message": (
+                                            "worker produced no result within "
+                                            f"{budget:.1f}s; task reclaimed"
+                                        ),
+                                        "traceback": "",
+                                    },
+                                    "elapsed_s": now - task.dispatched_at,
+                                    "attempts": 1,
+                                    "timed_out": True,
                                 },
-                                "elapsed_s": now - task.dispatched_at,
-                                "attempts": 1,
-                                "timed_out": True,
-                            },
-                            record,
-                        )
+                                record,
+                            )
                 pids = _pool_pids(pool)
                 if pids != known_pids:
                     logger.warning(
@@ -801,9 +954,10 @@ class SweepRunner:
                     if not in_flight:
                         death_detected_at = None
                     elif now - death_detected_at >= self.worker_grace_s:
-                        for index in list(in_flight):
-                            task = in_flight.pop(index)
-                            lost.append((index, task.scenario))
+                        for task_key in list(in_flight):
+                            task = in_flight.pop(task_key)
+                            for index, scenario in task.members:
+                                lost.append((index, scenario, task.spectrum))
                         logger.warning(
                             "presuming %d in-flight scenario(s) lost to worker "
                             "death; will re-run serially",
@@ -824,11 +978,19 @@ class SweepRunner:
             pool.join()
         if lost:
             session = Session()
-            for index, scenario in sorted(lost):
+            for index, scenario, spectrum in sorted(
+                lost, key=lambda item: item[0]
+            ):
                 logger.warning(
                     "re-running %s serially after worker death", scenario.scenario_id
                 )
-                payload = _execute_payload(session, scenario, self.profile, self.policy)
+                payload = _execute_payload(
+                    session,
+                    scenario,
+                    self.profile,
+                    self.policy,
+                    capacity_spectrum=spectrum,
+                )
                 self._finish(index, scenario, payload, record)
 
 

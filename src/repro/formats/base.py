@@ -211,6 +211,23 @@ class FeatureFormat(ABC):
         """
 
     # -- convenience ------------------------------------------------------ #
+    def cache_token(self) -> tuple:
+        """Hashable identity of this format's *layout behaviour*.
+
+        Two formats with equal tokens build identical layouts for identical
+        inputs, so per-run derived tables (row line counts, per-pass sizes)
+        may be shared across runs keyed on it.  Covers every constructor
+        parameter that influences :meth:`build_layout`.
+        """
+        return (
+            self.name,
+            getattr(self, "slice_size", None),
+            getattr(self, "in_place", None),
+            getattr(self, "block_rows", None),
+            getattr(self, "block_cols", None),
+            getattr(self, "block_size", None),
+        )
+
     def layout_for_matrix(self, matrix: np.ndarray, base_line: int = 0) -> FeatureLayout:
         """Build a layout directly from a dense matrix."""
         matrix = np.asarray(matrix)

@@ -119,6 +119,11 @@ class ReplayEngine:
         self.memo_hits = 0
         self.memo_misses = 0
         self.memo_evictions = 0
+        # Size-table digest memo keyed by object identity.  The strong
+        # reference to the table keeps its id() from being recycled; tables
+        # are never mutated in place by the simulator, so identity implies
+        # content equality.
+        self._token_cache: "OrderedDict[int, Tuple[np.ndarray, str]]" = OrderedDict()
 
     # ------------------------------------------------------------------ #
     # Structure construction (trace-only, size-independent)
@@ -244,13 +249,47 @@ class ReplayEngine:
             raise ConfigurationError("cache capacity must be positive")
         return [self._replay_one(table, capacity_lines) for table in size_tables]
 
-    #: Result-memo capacity; a run touches at most a few distinct tables.
-    MEMO_ENTRIES = 64
+    #: Result-memo capacity.  A single run touches at most a few distinct
+    #: tables, but a capacity sweep seeds tables x capacities entries (a
+    #: sliced format's per-pass tables are all distinct: ~13 tables x 5
+    #: capacities already overflows 64), so size for the sweep case — the
+    #: entries are a few dozen bytes each.
+    MEMO_ENTRIES = 512
 
-    def _replay_one(self, table: np.ndarray, capacity_lines: int) -> RowCacheStats:
+    #: Table-digest memo capacity; a run feeds a handful of distinct tables.
+    TOKEN_ENTRIES = 16
+
+    def _table_token(self, table: np.ndarray) -> str:
+        """Digest of a size table, memoized on object identity.
+
+        Dense formats feed the *same* constant table object for every pass
+        of every layer; hashing its full contents on each memo lookup costs
+        more than the memoized evaluation it guards.  ``table`` must already
+        be the contiguous ``int64`` array used for the memo key (the cache
+        pins it, so identity stays valid for the entry's lifetime).
+        """
+        key = id(table)
+        entry = self._token_cache.get(key)
+        if entry is not None and entry[0] is table:
+            self._token_cache.move_to_end(key)
+            return entry[1]
+        token = array_token(table)
+        self._token_cache[key] = (table, token)
+        while len(self._token_cache) > self.TOKEN_ENTRIES:
+            self._token_cache.popitem(last=False)
+        return token
+
+    def _replay_one(
+        self,
+        table: np.ndarray,
+        capacity_lines: int,
+        token: Optional[str] = None,
+    ) -> RowCacheStats:
         """Evaluate one size table; every operation is a flat 1-D array op."""
         table = np.ascontiguousarray(table, dtype=np.int64)
-        memo_key = (array_token(table), int(capacity_lines))
+        if token is None:
+            token = self._table_token(table)
+        memo_key = (token, int(capacity_lines))
         cached = self._memo.get(memo_key)
         if cached is not None:
             self._memo.move_to_end(memo_key)
@@ -259,11 +298,14 @@ class ReplayEngine:
         self.memo_misses += 1
         with span("replay_evaluate"):
             stats = self._evaluate(table, capacity_lines)
+        self._memo_store(memo_key, stats)
+        return stats
+
+    def _memo_store(self, memo_key: Tuple[str, int], stats: RowCacheStats) -> None:
         self._memo[memo_key] = replace(stats)
         while len(self._memo) > self.MEMO_ENTRIES:
             self._memo.popitem(last=False)
             self.memo_evictions += 1
-        return stats
 
     def memo_stats(self) -> Dict[str, int]:
         """Hit/miss/eviction counters of the per-(table, capacity) memo."""
@@ -274,15 +316,14 @@ class ReplayEngine:
             "entries": len(self._memo),
         }
 
-    def _evaluate(self, table: np.ndarray, capacity_lines: int) -> RowCacheStats:
+    def _footprint(self, sizes: np.ndarray, weights: np.ndarray) -> np.ndarray:
+        """Distinct in-window footprint per access for one weight vector.
+
+        Depends on the capacity only through ``weights`` (the streaming
+        threshold ``sizes <= cap``), so every capacity with the same weight
+        vector shares one call — the basis of :meth:`replay_spectrum`.
+        """
         n = self.trace.size
-        pinned_lines = int(table[self.pinned_rows].sum())
-        if n == 0:
-            return self._merge_pinned(0, 0, 0, 0, pinned_lines)
-
-        sizes = table[self.trace]  # true per-access sizes
-        weights = np.where(sizes <= capacity_lines, sizes, 0)
-
         cumulative = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(weights, out=cumulative[1:])
         # footprint = (interval sum) - duplicates = distinct in-window sizes
@@ -300,14 +341,180 @@ class ReplayEngine:
             footprint[self._query_rows] -= np.add.reduceat(
                 contributions, self._reduce_starts
             )
+        return footprint
 
+    def _hit_stats(
+        self,
+        sizes: np.ndarray,
+        footprint: np.ndarray,
+        capacity_lines: int,
+        pinned_lines: int,
+    ) -> RowCacheStats:
+        """Fold one capacity's hit test over a precomputed footprint array."""
         hit = footprint <= capacity_lines
         hit &= self._seen_before
 
         hits = int(np.count_nonzero(hit))
         hit_lines = int(sizes.sum(where=hit, initial=0))
         miss_lines = int(sizes.sum()) - hit_lines
-        return self._merge_pinned(n, hits, hit_lines, miss_lines, pinned_lines)
+        return self._merge_pinned(
+            self.trace.size, hits, hit_lines, miss_lines, pinned_lines
+        )
+
+    def _evaluate(self, table: np.ndarray, capacity_lines: int) -> RowCacheStats:
+        n = self.trace.size
+        pinned_lines = int(table[self.pinned_rows].sum())
+        if n == 0:
+            return self._merge_pinned(0, 0, 0, 0, pinned_lines)
+
+        sizes = table[self.trace]  # true per-access sizes
+        weights = np.where(sizes <= capacity_lines, sizes, 0)
+        footprint = self._footprint(sizes, weights)
+        return self._hit_stats(sizes, footprint, capacity_lines, pinned_lines)
+
+    def replay_spectrum(
+        self, table: np.ndarray, capacities: Sequence[int]
+    ) -> List[RowCacheStats]:
+        """Replay one size table against a whole vector of capacities.
+
+        The mergesort-tree structure is capacity-independent, and the
+        capacity enters :meth:`_evaluate` only through the streaming
+        threshold (``sizes <= cap``) and the final ``footprint <= cap``
+        compare.  Two capacities produce identical weight vectors iff no
+        access size lies strictly between them, so the capacities are
+        grouped by ``searchsorted`` over the unique access sizes: one
+        footprint computation per group, then one cheap broadcast hit test
+        per capacity.  In the common case — every row fits in every queried
+        capacity — that is a *single* group for the entire spectrum.
+
+        Results are stored in the same ``(table-digest, capacity)`` memo
+        that :meth:`replay` uses, so a later single-capacity call returns
+        the spectrum-computed value (bit-identical: the per-group math is
+        exactly :meth:`_evaluate`'s, in the same integer ops).
+
+        Args:
+            table: Per-row size lookup table (indexed by row id).
+            capacities: Cache capacities in cachelines; duplicates allowed.
+
+        Returns:
+            One :class:`RowCacheStats` per requested capacity, in order.
+        """
+        caps = [int(capacity) for capacity in capacities]
+        if any(capacity <= 0 for capacity in caps):
+            raise ConfigurationError("cache capacity must be positive")
+        table = np.ascontiguousarray(table, dtype=np.int64)
+        token = self._table_token(table)
+
+        results: Dict[int, RowCacheStats] = {}
+        missing: List[int] = []
+        for capacity in caps:
+            if capacity in results:
+                continue
+            cached = self._memo.get((token, capacity))
+            if cached is not None:
+                self._memo.move_to_end((token, capacity))
+                self.memo_hits += 1
+                results[capacity] = cached
+            else:
+                missing.append(capacity)
+
+        if missing:
+            with span("replay_evaluate"):
+                computed = self._evaluate_spectrum(table, sorted(missing))
+            for capacity, stats in computed.items():
+                self.memo_misses += 1
+                self._memo_store((token, capacity), stats)
+                results[capacity] = stats
+        return [replace(results[capacity]) for capacity in caps]
+
+    def replay_spectrum_many(
+        self, size_tables: Sequence[np.ndarray], capacities: Sequence[int]
+    ) -> List[List[RowCacheStats]]:
+        """Replay many size tables against a shared capacity vector.
+
+        The per-table math is exactly :meth:`replay_spectrum`'s; the win is
+        deduplication *before* evaluation: tables with equal content (dense
+        formats feed dozens of identical pass tables per run) collapse to
+        one evaluation per distinct digest, and results land in the same
+        ``(table-digest, capacity)`` memo as :meth:`replay` /
+        :meth:`replay_spectrum` so sibling runs in the same sweep class
+        answer from cache.
+
+        Args:
+            size_tables: Per-row size lookup tables (indexed by row id).
+            capacities: Cache capacities in cachelines; duplicates allowed.
+
+        Returns:
+            One list of :class:`RowCacheStats` per table, each with one
+            entry per requested capacity, in order.
+        """
+        caps = [int(capacity) for capacity in capacities]
+        if any(capacity <= 0 for capacity in caps):
+            raise ConfigurationError("cache capacity must be positive")
+        tables = [
+            np.ascontiguousarray(table, dtype=np.int64) for table in size_tables
+        ]
+        tokens = [self._table_token(table) for table in tables]
+        unique_caps = list(dict.fromkeys(caps))
+
+        # Resolve per distinct table *content*: equal-content tables (dense
+        # formats feed dozens per run) evaluate once and share the result,
+        # exactly as a sequential memo-checking loop would.
+        resolved: Dict[str, Dict[int, RowCacheStats]] = {}
+        for table, token in zip(tables, tokens):
+            if token in resolved:
+                self.memo_hits += len(unique_caps)
+                continue
+            results: Dict[int, RowCacheStats] = {}
+            resolved[token] = results
+            for capacity in unique_caps:
+                cached = self._memo.get((token, capacity))
+                if cached is not None:
+                    self._memo.move_to_end((token, capacity))
+                    self.memo_hits += 1
+                    results[capacity] = cached
+            if len(results) == len(unique_caps):
+                continue
+            with span("replay_evaluate"):
+                computed = self._evaluate_spectrum(
+                    table, sorted(set(unique_caps) - set(results))
+                )
+            for capacity, stats in computed.items():
+                self.memo_misses += 1
+                self._memo_store((token, capacity), stats)
+                results[capacity] = stats
+        return [
+            [replace(resolved[token][capacity]) for capacity in caps]
+            for token in tokens
+        ]
+
+    def _evaluate_spectrum(
+        self, table: np.ndarray, caps: List[int]
+    ) -> Dict[int, RowCacheStats]:
+        """Evaluate distinct capacities grouped by shared weight vector."""
+        n = self.trace.size
+        pinned_lines = int(table[self.pinned_rows].sum())
+        out: Dict[int, RowCacheStats] = {}
+        if n == 0:
+            for capacity in caps:
+                out[capacity] = self._merge_pinned(0, 0, 0, 0, pinned_lines)
+            return out
+
+        sizes = table[self.trace]  # true per-access sizes
+        unique_sizes = np.unique(sizes)
+        caps_arr = np.asarray(caps, dtype=np.int64)
+        # Same group <=> no access size strictly between the capacities
+        # <=> identical ``sizes <= cap`` masks, hence identical weights.
+        group_of = np.searchsorted(unique_sizes, caps_arr, side="right")
+        for group in np.unique(group_of):
+            group_caps = caps_arr[group_of == group]
+            weights = np.where(sizes <= int(group_caps[0]), sizes, 0)
+            footprint = self._footprint(sizes, weights)
+            for capacity in group_caps.tolist():
+                out[capacity] = self._hit_stats(
+                    sizes, footprint, capacity, pinned_lines
+                )
+        return out
 
     def replay(self, sizes: np.ndarray, capacity_lines: int) -> RowCacheStats:
         """Replay the trace once against one per-row size table."""
@@ -433,7 +640,13 @@ class TraceCache:
         return value
 
     def clear(self) -> None:
-        """Drop every entry (the hit/miss/eviction counters survive)."""
+        """Drop every entry, counting each as an eviction.
+
+        Counting the dropped entries keeps :meth:`stats` an accounting
+        identity — every miss either remains resident (``entries``) or was
+        evicted, so ``hits + misses >= entries + evictions`` always holds.
+        """
+        self.evictions += len(self._entries)
         self._entries.clear()
         self.current_bytes = 0
 

@@ -34,8 +34,13 @@ class TestSessionTraceCache:
         ]
         session.run_many(specs)
         stats = session.trace_cache.stats()
-        assert stats["misses"] <= 2  # one trace + one engine
-        assert stats["hits"] >= len(specs) - 1
+        first_run_misses = stats["misses"]
+        # Everything shareable (trace, engine, per-layer row tables) was
+        # built exactly once: the remaining runs add no misses at all.
+        session.run_many(specs)
+        stats = session.trace_cache.stats()
+        assert stats["misses"] == first_run_misses
+        assert stats["hits"] >= 3 * len(specs)
 
     def test_cached_results_identical_to_cold_session(self):
         spec = RunSpec(dataset="citeseer", accelerator="sgcn", max_vertices=128)
