@@ -1,0 +1,325 @@
+"""``repro audit``: the derived identity-flow picture, for humans and CI.
+
+Where ``repro lint`` answers *"is the tree clean?"*, the audit renders the
+evidence: the stage→attribute read map the flow layer derived, the
+coverage table per identity class (read vs covered vs exempt vs missing),
+the replay-knob partition with each override key's declared and derived
+classification, and the full exemption ledger.  CI uploads the JSON form
+next to the lint findings so identity drift is visible in artifacts, not
+just as a red cross.
+
+The JSON document shares :data:`~repro.analysis.report.LINT_SCHEMA_VERSION`
+(v3 introduced both the F-rules and this document) under its own ``kind``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Set, Tuple, Union
+
+from repro.analysis.engine import Finding, LintModule, Rule, load_project
+from repro.analysis.flow import (
+    IDENTITY_CLASS_NAMES,
+    REPLAY_STAGES,
+    SCHEDULE_STAGES,
+    ClassKey,
+    Exemption,
+    ProjectFlow,
+    ReadSite,
+)
+from repro.analysis.report import LINT_SCHEMA_VERSION
+from repro.analysis.rules.identity import (
+    REPLAY_KNOB_SET_NAME,
+    SUPPORTED_SET_NAME,
+    IdentityCoverageRule,
+    MemoKeyPurityRule,
+    ReplayClassPartitionRule,
+    project_flow,
+)
+
+#: ``kind`` value of the ``repro audit --json`` document.
+AUDIT_DOCUMENT_KIND = "identity-audit"
+
+
+@dataclass
+class CoverageRow:
+    """Coverage of one identity class: what is read vs what the key covers."""
+
+    class_name: str
+    module: str
+    surface: str
+    covered: List[str]
+    read: List[str]
+    exempt: List[str]
+    missing: List[str]
+
+
+@dataclass
+class PartitionRow:
+    """One override key's declared vs AST-derived stage classification."""
+
+    key: str
+    declared: str  # "replay" | "schedule"
+    derived: str  # "schedule" | "replay" | "schedule+replay" | "unread"
+    writes: List[str]
+
+
+@dataclass
+class AuditReport:
+    """Outcome of one :func:`run_audit` call."""
+
+    files: List[str]
+    stage_reads: Dict[str, List[str]]
+    coverage: List[CoverageRow]
+    replay_knobs: List[str]
+    supported_overrides: List[str]
+    partition: List[PartitionRow]
+    exemptions: List[Exemption]
+    findings: List[Finding]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the audited tree has no findings and no missing coverage."""
+        return not self.findings and not any(row.missing for row in self.coverage)
+
+
+#: Human name of each identity class's derivation surface.
+_SURFACES: Dict[str, str] = {
+    "RunSpec": "RunSpec.key() / scenario_id",
+    "DesignPoint": "DesignPoint field serialisation",
+    "CacheConfig": "build_config override surface",
+}
+
+#: The three flow rules the audit re-runs to collect findings.
+_AUDIT_RULES: Tuple[Rule, ...] = (
+    IdentityCoverageRule(),
+    ReplayClassPartitionRule(),
+    MemoKeyPurityRule(),
+)
+
+
+def run_audit(paths: Sequence[Union[str, Path]]) -> AuditReport:
+    """Audit ``paths``: derive the flow picture and the F-rule findings."""
+    modules, findings = load_project(paths)
+    flow = project_flow(modules)
+    for rule in _AUDIT_RULES:
+        findings.extend(rule.check_project(modules))
+    by_display = {module.display_path: module for module in modules}
+    kept: List[Finding] = []
+    for finding in findings:
+        module = by_display.get(finding.path)
+        if module is not None and module.suppressed(finding):
+            continue
+        kept.append(finding)
+    kept.sort(key=Finding.sort_key)
+    return AuditReport(
+        files=sorted(by_display),
+        stage_reads=flow.stage_read_map(),
+        coverage=_coverage_rows(flow),
+        replay_knobs=sorted(_declared_union(flow, REPLAY_KNOB_SET_NAME)),
+        supported_overrides=sorted(_declared_union(flow, SUPPORTED_SET_NAME)),
+        partition=_partition_rows(flow),
+        exemptions=flow.all_exemptions(),
+        findings=kept,
+    )
+
+
+def _declared_union(flow: ProjectFlow, name: str) -> Set[str]:
+    values: Set[str] = set()
+    for _, declared in flow.declared_sets(name).values():
+        values.update(declared)
+    return values
+
+
+def _coverage_rows(flow: ProjectFlow) -> List[CoverageRow]:
+    roots = flow.stage_roots() + flow.session_roots()
+    if not flow.stage_roots():
+        return []
+    reads = flow.reads_from(roots)
+    by_class: Dict[ClassKey, Dict[str, List[ReadSite]]] = {}
+    for (class_key, attr), sites in reads.items():
+        if class_key[1] in IDENTITY_CLASS_NAMES:
+            by_class.setdefault(class_key, {})[attr] = sites
+    rows: List[CoverageRow] = []
+    for class_key in sorted(by_class):
+        covered = flow.identity_coverage(class_key)
+        if covered is None:
+            continue
+        read_attrs = by_class[class_key]
+        exempt: List[str] = []
+        missing: List[str] = []
+        for attr in sorted(set(read_attrs) - covered):
+            if _all_sites_exempt(flow, class_key, attr, read_attrs[attr]):
+                exempt.append(attr)
+            else:
+                missing.append(attr)
+        rows.append(
+            CoverageRow(
+                class_name=class_key[1],
+                module=class_key[0],
+                surface=_SURFACES.get(class_key[1], "identity derivation"),
+                covered=sorted(covered),
+                read=sorted(read_attrs),
+                exempt=exempt,
+                missing=missing,
+            )
+        )
+    return rows
+
+
+def _all_sites_exempt(
+    flow: ProjectFlow, class_key: ClassKey, attr: str, sites: List[ReadSite]
+) -> bool:
+    subject = f"{class_key[1]}.{attr}"
+    for site in sites:
+        entry = flow.exemption_for(site.module, site.line, subject)
+        if entry is None or not entry.reason:
+            return False
+    return True
+
+
+def _partition_rows(flow: ProjectFlow) -> List[PartitionRow]:
+    knobs = _declared_union(flow, REPLAY_KNOB_SET_NAME)
+    supported = _declared_union(flow, SUPPORTED_SET_NAME)
+    if not supported and not knobs:
+        return []
+    writes = flow.override_writes()
+    sched = flow.reads_from(flow.stage_roots(SCHEDULE_STAGES))
+    replay = flow.reads_from(flow.stage_roots(REPLAY_STAGES))
+    rows: List[PartitionRow] = []
+    for key in sorted(supported | knobs):
+        written = writes.get(key, set())
+        sched_hit = any(write in sched for write in written)
+        replay_hit = any(write in replay for write in written)
+        if sched_hit and replay_hit:
+            derived = "schedule+replay"
+        elif sched_hit:
+            derived = "schedule"
+        elif replay_hit:
+            derived = "replay"
+        else:
+            derived = "unread"
+        rows.append(
+            PartitionRow(
+                key=key,
+                declared="replay" if key in knobs else "schedule",
+                derived=derived,
+                writes=sorted(f"{cls[1]}.{attr}" for cls, attr in written),
+            )
+        )
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# Reporters
+# --------------------------------------------------------------------------- #
+def audit_document(report: AuditReport) -> Dict[str, object]:
+    """The versioned ``identity-audit`` JSON document for one audit run."""
+    return {
+        "schema_version": LINT_SCHEMA_VERSION,
+        "kind": AUDIT_DOCUMENT_KIND,
+        "files_checked": len(report.files),
+        "stage_reads": report.stage_reads,
+        "coverage": [
+            {
+                "class": row.class_name,
+                "module": row.module,
+                "surface": row.surface,
+                "covered": row.covered,
+                "read": row.read,
+                "exempt": row.exempt,
+                "missing": row.missing,
+            }
+            for row in report.coverage
+        ],
+        "replay_knobs": report.replay_knobs,
+        "supported_overrides": report.supported_overrides,
+        "partition": [
+            {
+                "key": row.key,
+                "declared": row.declared,
+                "derived": row.derived,
+                "writes": row.writes,
+            }
+            for row in report.partition
+        ],
+        "exemptions": [
+            {
+                "subject": entry.subject,
+                "path": entry.path,
+                "line": entry.line,
+                "reason": entry.reason,
+            }
+            for entry in report.exemptions
+        ],
+        "findings": [finding.to_dict() for finding in report.findings],
+        "ok": report.ok,
+    }
+
+
+def render_audit(report: AuditReport) -> List[str]:
+    """Human-readable audit: read map, coverage, partition, ledger, findings."""
+    lines: List[str] = []
+    lines.append(f"identity audit over {len(report.files)} file(s)")
+    if report.stage_reads:
+        lines.append("")
+        lines.append("stage read map (transitive tracked-class reads):")
+        for stage, attrs in report.stage_reads.items():
+            lines.append(f"  {stage}: {', '.join(attrs) if attrs else '(none)'}")
+    for row in report.coverage:
+        lines.append("")
+        lines.append(f"{row.class_name} ({row.module}) — {row.surface}:")
+        lines.append(f"  covered : {_join(row.covered)}")
+        lines.append(f"  read    : {_join(row.read)}")
+        lines.append(f"  exempt  : {_join(row.exempt)}")
+        marker = " <-- NOT COVERED" if row.missing else ""
+        lines.append(f"  missing : {_join(row.missing)}{marker}")
+    if report.partition:
+        lines.append("")
+        lines.append(
+            f"override partition ({REPLAY_KNOB_SET_NAME} vs derived reads):"
+        )
+        width = max(len(row.key) for row in report.partition)
+        for row in report.partition:
+            flag = ""
+            if row.declared == "replay" and "schedule" in row.derived:
+                flag = "  <-- schedule-side read"
+            lines.append(
+                f"  {row.key:<{width}}  declared={row.declared:<8} "
+                f"derived={row.derived}{flag}"
+            )
+    if report.exemptions:
+        lines.append("")
+        lines.append(f"exemption ledger ({len(report.exemptions)} entries):")
+        for entry in report.exemptions:
+            reason = entry.reason or "(NO REASON)"
+            lines.append(
+                f"  {entry.path}:{entry.line}: [{entry.subject}] {reason}"
+            )
+    lines.append("")
+    if report.findings:
+        lines.append(f"{len(report.findings)} finding(s):")
+        for finding in report.findings:
+            lines.append(
+                f"  {finding.location()}: {finding.rule} [{finding.name}] "
+                f"{finding.message}"
+            )
+    else:
+        lines.append("audit clean: every stage read is covered or ledgered")
+    return lines
+
+
+def _join(values: List[str]) -> str:
+    return ", ".join(values) if values else "(none)"
+
+
+__all__ = [
+    "AUDIT_DOCUMENT_KIND",
+    "AuditReport",
+    "CoverageRow",
+    "PartitionRow",
+    "audit_document",
+    "render_audit",
+    "run_audit",
+]

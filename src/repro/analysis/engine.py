@@ -14,14 +14,24 @@ Two rule scopes:
 * :meth:`Rule.check_project` runs once over the whole module set, for
   cross-module contracts (the worker-payload schema check).
 
-Suppression: a finding is dropped when the *reported line* carries a
-``# repro: noqa[RULE]`` comment naming the rule's id or name (comma
-separated for several rules), conventionally followed by a reason::
+Suppression: a finding is dropped when a ``# repro: noqa[RULE]`` comment
+naming the rule's id or name (comma separated for several rules) appears in
+the *suppression span* of the statement that owns the reported line,
+conventionally followed by a reason::
 
     started = time.perf_counter()  # repro: noqa[N1] progress ETA only
 
+For simple statements the span is the statement's own lines (so a trailing
+comment on any line of a multi-line expression counts); for compound
+statements — ``def``/``class`` (including decorators) and block headers —
+the span covers decorators through the header line only, never the body.
+That normalisation is what lets a noqa on a decorator line silence a
+finding reported on the ``def`` line below it.
+
 Comments are read with :mod:`tokenize`, so a ``noqa`` inside a string
-literal never suppresses anything.
+literal never suppresses anything.  The noqa table is computed lazily, once
+per file, the first time a suppression query touches the module — a clean
+file is never tokenized twice.
 """
 
 from __future__ import annotations
@@ -111,9 +121,18 @@ class LintModule:
     display_path: str
     source: str
     tree: ast.Module
-    noqa: Dict[int, FrozenSet[str]]
+    _noqa: Optional[Dict[int, FrozenSet[str]]] = field(default=None, repr=False)
     _parents: Optional[Dict[int, ast.AST]] = field(default=None, repr=False)
     _imports: Optional[Dict[str, str]] = field(default=None, repr=False)
+    _spans: Optional[Dict[int, Tuple[int, int]]] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def noqa(self) -> Dict[int, FrozenSet[str]]:
+        """Line -> suppressed rule ids, tokenized once per file on demand."""
+        if self._noqa is None:
+            self._noqa = parse_noqa(self.source)
+        return self._noqa
 
     # ------------------------------------------------------------------ #
     def parent(self, node: ast.AST) -> Optional[ast.AST]:
@@ -168,12 +187,49 @@ class LintModule:
             return dotted
         return f"{origin}.{rest}" if rest else origin
 
+    def suppression_span(self, line: int) -> Tuple[int, int]:
+        """Inclusive line span a suppression comment for ``line`` may sit on.
+
+        The span of the innermost statement owning ``line``: a simple
+        statement spans all its own lines; a compound statement (``def``,
+        ``class``, ``if``, ...) spans its decorators and header only, so a
+        comment deep inside a block never suppresses findings on the header
+        of that block (or vice versa).
+        """
+        if self._spans is None:
+            spans: List[Tuple[int, int]] = []
+            for node in ast.walk(self.tree):
+                if not isinstance(node, ast.stmt):
+                    continue
+                start = node.lineno
+                decorators = getattr(node, "decorator_list", [])
+                if decorators:
+                    start = min(start, *(d.lineno for d in decorators))
+                body = getattr(node, "body", None)
+                if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+                    end = max(node.lineno, body[0].lineno - 1)
+                else:
+                    end = int(getattr(node, "end_lineno", node.lineno) or node.lineno)
+                spans.append((start, end))
+            # Larger spans first so innermost statements win the lookup.
+            table: Dict[int, Tuple[int, int]] = {}
+            for start, end in sorted(spans, key=lambda span: span[0] - span[1]):
+                for covered in range(start, end + 1):
+                    table[covered] = (start, end)
+            self._spans = table
+        return self._spans.get(line, (line, line))
+
     def suppressed(self, finding: Finding) -> bool:
-        """Whether a ``# repro: noqa[...]`` on the finding's line names it."""
-        ids = self.noqa.get(finding.line)
-        if not ids:
+        """Whether a ``# repro: noqa[...]`` in the finding's span names it."""
+        table = self.noqa
+        if not table:
             return False
-        return finding.rule.casefold() in ids or finding.name.casefold() in ids
+        start, end = self.suppression_span(finding.line)
+        wanted = {finding.rule.casefold(), finding.name.casefold()}
+        for noqa_line, ids in table.items():
+            if start <= noqa_line <= end and ids & wanted:
+                return True
+        return False
 
 
 def dotted_name(node: ast.expr) -> Optional[str]:
@@ -342,7 +398,6 @@ def load_module(path: Path) -> LintModule:
         display_path=_display_path(path),
         source=source,
         tree=tree,
-        noqa=parse_noqa(source),
     )
 
 
@@ -376,15 +431,18 @@ class LintReport:
         return table
 
 
-def run_lint(
+def load_project(
     paths: Sequence[Union[str, Path]],
-    rules: Sequence[Rule],
-) -> LintReport:
-    """Lint ``paths`` under ``rules`` and return the suppressed-and-sorted report."""
-    files = iter_python_files(paths)
+) -> Tuple[List[LintModule], List[Finding]]:
+    """Expand and parse lint targets once.
+
+    Returns the parsed modules plus one :data:`PARSE_ERROR_RULE` finding per
+    file that does not parse — shared by ``run_lint`` and ``repro audit`` so
+    both see the same project view.
+    """
     modules: List[LintModule] = []
     findings: List[Finding] = []
-    for path in files:
+    for path in iter_python_files(paths):
         try:
             modules.append(load_module(path))
         except SyntaxError as exc:
@@ -398,6 +456,16 @@ def run_lint(
                     message=f"file does not parse: {exc.msg}",
                 )
             )
+    return modules, findings
+
+
+def run_lint(
+    paths: Sequence[Union[str, Path]],
+    rules: Sequence[Rule],
+) -> LintReport:
+    """Lint ``paths`` under ``rules`` and return the suppressed-and-sorted report."""
+    files = iter_python_files(paths)
+    modules, findings = load_project(paths)
     by_display = {module.display_path: module for module in modules}
     for rule in rules:
         for module in modules:
@@ -428,6 +496,7 @@ __all__ = [
     "dotted_name",
     "iter_python_files",
     "load_module",
+    "load_project",
     "parse_noqa",
     "run_lint",
 ]

@@ -15,7 +15,10 @@ from repro.analysis.engine import LintReport
 #: Schema version of the ``repro lint --json`` findings document.
 #: v2: rule battery gained R1 (ad-hoc-retry); S2 additionally flags
 #: swallowed ``except BaseException`` handlers.
-LINT_SCHEMA_VERSION = 2
+#: v3: rule battery gained the interprocedural F1/F2/F3 identity-flow
+#: rules, and the version is shared with the new ``identity-audit``
+#: document (``repro audit --json``).
+LINT_SCHEMA_VERSION = 3
 
 #: ``kind`` value of the findings document.
 LINT_DOCUMENT_KIND = "lint-findings"

@@ -17,6 +17,11 @@ from repro.analysis.rules.determinism import (
     UnseededRngRule,
     UnsortedIdentityIterationRule,
 )
+from repro.analysis.rules.identity import (
+    IdentityCoverageRule,
+    MemoKeyPurityRule,
+    ReplayClassPartitionRule,
+)
 from repro.analysis.rules.neutrality import (
     PrintOutsideWriterRule,
     TimingOutsideTelemetryRule,
@@ -42,6 +47,9 @@ ALL_RULES: Tuple[Rule, ...] = (
     FrozenSetattrRule(),
     WorkerPayloadContractRule(),
     AdHocRetryRule(),
+    IdentityCoverageRule(),
+    ReplayClassPartitionRule(),
+    MemoKeyPurityRule(),
 )
 
 #: Short ids of the active battery, in order.
@@ -80,8 +88,11 @@ __all__ = [
     "AdHocRetryRule",
     "BareExceptRule",
     "FrozenSetattrRule",
+    "IdentityCoverageRule",
+    "MemoKeyPurityRule",
     "MutableDefaultArgRule",
     "PrintOutsideWriterRule",
+    "ReplayClassPartitionRule",
     "TimingOutsideTelemetryRule",
     "UnseededRngRule",
     "UnsortedIdentityIterationRule",

@@ -1,0 +1,339 @@
+"""F1/F2/F3: identity-coverage contracts re-derived from the whole program.
+
+These rules run on the interprocedural layer (:mod:`repro.analysis.flow`)
+and, like C1, arm themselves only when the contract's endpoints are inside
+the linted module set — linting a single file never produces whole-program
+noise.
+
+* **F1 ``identity-covers-reads``** — every ``RunSpec``/``DesignPoint``/
+  ``CacheConfig`` attribute transitively read by the five pipeline stages
+  (or the ``Session`` entry points that feed them) must be covered by the
+  corresponding identity derivation (``RunSpec.key()``; the design-point
+  field serialisation; the ``build_config`` override surface that flows
+  into ``scenario_id``) or carry a reasoned
+  ``# repro: identity-exempt[Class.attr] reason`` ledger comment.
+* **F2 ``replay-class-partition``** — the schedule-stage vs replay-stage
+  read partition is re-derived from the AST and checked against
+  ``REPLAY_KNOB_OVERRIDES``: no schedule-stage read may be classed as a
+  replay knob, and every replay-only override key must be.
+* **F3 ``memo-key-purity``** — functions feeding a memoized/cached path
+  (the five stages plus the ``ReplayEngine``/``TraceCache`` methods) must
+  not read mutable module globals, environment variables, or undeclared
+  ``self`` state: anything outside the blessed setter/registry surfaces
+  either joins a cache key or carries a ledger entry explaining why it
+  cannot change results.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.engine import Finding, LintModule, Rule
+from repro.analysis.flow import (
+    IDENTITY_CLASS_NAMES,
+    PIPELINE_STAGES,
+    PURITY_EXEMPT_MODULE_PREFIXES,
+    REPLAY_STAGES,
+    SCHEDULE_STAGES,
+    Exemption,
+    GlobalRead,
+    ProjectFlow,
+    ReadSite,
+)
+
+#: Name of the assignment declaring the replay-knob equivalence class.
+REPLAY_KNOB_SET_NAME = "REPLAY_KNOB_OVERRIDES"
+
+#: Name of the assignment declaring the supported override keys.
+SUPPORTED_SET_NAME = "SUPPORTED_OVERRIDES"
+
+#: Function-name prefixes blessed to touch module globals (the setter
+#: surfaces W1 already polices).
+BLESSED_PREFIXES = ("set_", "reset_", "register_")
+
+_FlowKey = Tuple[Tuple[str, int], ...]
+_FLOW_CACHE: List[Tuple[_FlowKey, ProjectFlow]] = []
+
+
+def project_flow(modules: Sequence[LintModule]) -> ProjectFlow:
+    """The shared :class:`ProjectFlow` of ``modules`` (built once per run).
+
+    All three F-rules (and ``repro audit``) receive the same module list
+    within one ``run_lint`` call; a single-slot cache keyed on the parsed
+    trees keeps the graph construction from running three times.
+    """
+    key: _FlowKey = tuple((m.display_path, id(m.tree)) for m in modules)
+    if _FLOW_CACHE and _FLOW_CACHE[0][0] == key:
+        return _FLOW_CACHE[0][1]
+    flow = ProjectFlow(modules)
+    _FLOW_CACHE[:] = [(key, flow)]
+    return flow
+
+
+def _site_finding(
+    rule: Rule, site: ReadSite, message: str
+) -> Finding:
+    return Finding(
+        path=site.module.display_path,
+        line=site.line,
+        col=site.col,
+        rule=rule.rule_id,
+        name=rule.name,
+        message=message,
+    )
+
+
+def _ledger_ok(exemption: Optional[Exemption]) -> bool:
+    return exemption is not None and bool(exemption.reason)
+
+
+class IdentityCoverageRule(Rule):
+    """F1: every stage-read identity-class attribute joins an identity."""
+
+    rule_id = "F1"
+    name = "identity-covers-reads"
+    summary = (
+        "attributes read by the pipeline stages must appear in the "
+        "corresponding identity derivation or the identity-exempt ledger"
+    )
+
+    def check_project(self, modules: Sequence[LintModule]) -> Iterator[Finding]:
+        flow = project_flow(modules)
+        roots = flow.stage_roots() + flow.session_roots()
+        if not flow.stage_roots():
+            return
+        reads = flow.reads_from(roots)
+        coverage: Dict[Tuple[str, str], Optional[Set[str]]] = {}
+        for (class_key, attr), sites in sorted(reads.items()):
+            bare = class_key[1]
+            if bare not in IDENTITY_CLASS_NAMES:
+                continue
+            if class_key not in coverage:
+                coverage[class_key] = flow.identity_coverage(class_key)
+            covered = coverage[class_key]
+            if covered is None or attr in covered:
+                continue
+            subject = f"{bare}.{attr}"
+            for site in sites:
+                exemption = flow.exemption_for(site.module, site.line, subject)
+                if _ledger_ok(exemption):
+                    continue
+                surface = _surface_name(bare)
+                yield _site_finding(
+                    self,
+                    site,
+                    f"{subject} is read on the pipeline path (via "
+                    f"{site.function.split(':', 1)[1]}) but missing from "
+                    f"{surface}; add it to the identity or a "
+                    f"'# repro: identity-exempt[{subject}] reason' ledger entry",
+                )
+        yield from self._reasonless_ledger_entries(flow)
+
+    def _reasonless_ledger_entries(self, flow: ProjectFlow) -> Iterator[Finding]:
+        for entry in flow.all_exemptions():
+            if not entry.reason:
+                yield Finding(
+                    path=entry.path,
+                    line=entry.line,
+                    col=1,
+                    rule=self.rule_id,
+                    name=self.name,
+                    message=(
+                        f"identity-exempt[{entry.subject}] ledger entry has no "
+                        "reason; every exemption must say why the read cannot "
+                        "change cached results"
+                    ),
+                )
+
+
+def _surface_name(bare: str) -> str:
+    if bare == "RunSpec":
+        return "RunSpec.key() (scenario_id)"
+    if bare == "DesignPoint":
+        return "the DesignPoint field serialisation"
+    return "the build_config override surface"
+
+
+class ReplayClassPartitionRule(Rule):
+    """F2: the replay-knob class matches the derived stage read partition."""
+
+    rule_id = "F2"
+    name = "replay-class-partition"
+    summary = (
+        "REPLAY_KNOB_OVERRIDES must match the AST-derived schedule-stage vs "
+        "replay-stage read partition of the override surface"
+    )
+
+    def check_project(self, modules: Sequence[LintModule]) -> Iterator[Finding]:
+        flow = project_flow(modules)
+        if not flow.stage_roots():
+            return
+        knob_sets = flow.declared_sets(REPLAY_KNOB_SET_NAME)
+        supported_sets = flow.declared_sets(SUPPORTED_SET_NAME)
+        builders = flow.build_config_functions()
+        if not knob_sets or not builders:
+            return
+        sched_reads = flow.reads_from(flow.stage_roots(SCHEDULE_STAGES))
+        replay_reads = flow.reads_from(flow.stage_roots(REPLAY_STAGES))
+        union_knobs: Set[str] = set()
+        for _, values in knob_sets.values():
+            union_knobs.update(values)
+        union_supported: Set[str] = set()
+        for _, values in supported_sets.values():
+            union_supported.update(values)
+
+        # Stale class entries: a declared replay knob that is not a
+        # supported override key can never be exercised.
+        if supported_sets:
+            for mod in sorted(knob_sets):
+                node, knobs = knob_sets[mod]
+                for key in sorted(knobs - union_supported):
+                    yield self.finding(
+                        flow.modules_by_name[mod],
+                        node,
+                        f"replay knob {key!r} is not a supported override "
+                        f"key; remove it from {REPLAY_KNOB_SET_NAME} or add "
+                        f"it to {SUPPORTED_SET_NAME}",
+                    )
+
+        for builder in builders:
+            mod = builder.qual.split(":", 1)[0]
+            writes = flow.override_writes_for(builder)
+            knob_entry = knob_sets.get(mod)
+            knobs = knob_entry[1] if knob_entry is not None else union_knobs
+            yield from self._schedule_reads_of_replay_knobs(
+                flow, knobs, writes, sched_reads
+            )
+            supported_entry = supported_sets.get(mod)
+            if supported_entry is None:
+                continue
+            if knob_entry is not None:
+                anchor_mod, anchor_node = mod, knob_entry[0]
+            else:
+                anchor_mod = sorted(knob_sets)[0]
+                anchor_node = knob_sets[anchor_mod][0]
+            yield from self._unclassified_replay_knobs(
+                flow.modules_by_name[anchor_mod],
+                anchor_node,
+                supported_entry[1],
+                knobs,
+                writes,
+                sched_reads,
+                replay_reads,
+            )
+
+    def _schedule_reads_of_replay_knobs(
+        self,
+        flow: ProjectFlow,
+        knobs: Set[str],
+        writes: Dict[str, Set[Tuple[Tuple[str, str], str]]],
+        sched_reads: Dict[Tuple[Tuple[str, str], str], List[ReadSite]],
+    ) -> Iterator[Finding]:
+        for key in sorted(knobs):
+            for write in sorted(writes.get(key, set())):
+                sites = sched_reads.get(write, [])
+                subject = f"{write[0][1]}.{write[1]}"
+                for site in sites:
+                    exemption = flow.exemption_for(site.module, site.line, subject)
+                    if _ledger_ok(exemption):
+                        continue
+                    yield _site_finding(
+                        self,
+                        site,
+                        f"replay knob {key!r} writes {subject}, which the "
+                        f"schedule stage reads (via "
+                        f"{site.function.split(':', 1)[1]}); a schedule-time "
+                        "read must not be classed replay-only — fix the read "
+                        "or ledger it with "
+                        f"'# repro: identity-exempt[{subject}] reason'",
+                    )
+
+    def _unclassified_replay_knobs(
+        self,
+        anchor_module: LintModule,
+        anchor_node: ast.AST,
+        supported: Set[str],
+        knobs: Set[str],
+        writes: Dict[str, Set[Tuple[Tuple[str, str], str]]],
+        sched_reads: Dict[Tuple[Tuple[str, str], str], List[ReadSite]],
+        replay_reads: Dict[Tuple[Tuple[str, str], str], List[ReadSite]],
+    ) -> Iterator[Finding]:
+        for key in sorted(supported - knobs):
+            written = writes.get(key, set())
+            if not written:
+                continue
+            replay_hit = any(write in replay_reads for write in written)
+            sched_hit = any(write in sched_reads for write in written)
+            if replay_hit and not sched_hit:
+                yield self.finding(
+                    anchor_module,
+                    anchor_node,
+                    f"override key {key!r} is only read by the replay/timing "
+                    f"stages; add it to {REPLAY_KNOB_SET_NAME} so grouped "
+                    "sweeps amortise its trace",
+                )
+
+
+class MemoKeyPurityRule(Rule):
+    """F3: memo-path functions read no un-keyed ambient state."""
+
+    rule_id = "F3"
+    name = "memo-key-purity"
+    summary = (
+        "functions feeding a memoized/cached path must not read mutable "
+        "module globals, environment variables, or undeclared self state"
+    )
+
+    def check_project(self, modules: Sequence[LintModule]) -> Iterator[Finding]:
+        flow = project_flow(modules)
+        roots = flow.memo_roots()
+        if not flow.stage_roots() and not roots:
+            return
+        for qual in sorted(flow.reachable(roots)):
+            info = flow.functions[qual]
+            mod = qual.split(":", 1)[0]
+            if any(
+                mod == prefix or mod.startswith(prefix + ".")
+                for prefix in PURITY_EXEMPT_MODULE_PREFIXES
+            ):
+                continue
+            if info.name.startswith(BLESSED_PREFIXES):
+                continue
+            for read in info.global_reads:
+                exemption = flow.exemption_for(info.module, read.line, read.subject)
+                if _ledger_ok(exemption):
+                    continue
+                yield Finding(
+                    path=info.module.display_path,
+                    line=read.line,
+                    col=read.col,
+                    rule=self.rule_id,
+                    name=self.name,
+                    message=self._message(info.name, read),
+                )
+
+    @staticmethod
+    def _message(function: str, read: GlobalRead) -> str:
+        if read.kind == "env":
+            what = "reads the process environment"
+        elif read.kind == "self":
+            what = f"reads undeclared self state {read.subject}"
+        else:
+            what = f"reads mutable module global {read.subject.split(':', 1)[1]!r}"
+        return (
+            f"{function} feeds a memoized path but {what}; key it, move it "
+            "behind a blessed setter surface, or ledger it with "
+            f"'# repro: identity-exempt[{read.subject}] reason'"
+        )
+
+
+__all__ = [
+    "BLESSED_PREFIXES",
+    "IdentityCoverageRule",
+    "MemoKeyPurityRule",
+    "REPLAY_KNOB_SET_NAME",
+    "ReplayClassPartitionRule",
+    "SUPPORTED_SET_NAME",
+    "project_flow",
+]

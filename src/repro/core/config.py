@@ -71,9 +71,12 @@ class CacheConfig:
     @property
     def schedule_capacity(self) -> int:
         """Capacity in bytes the static schedule is planned for."""
-        if self.schedule_capacity_bytes is not None:
-            return self.schedule_capacity_bytes
-        return self.capacity_bytes
+        # The schedule-at-nominal contract (PR 9): a replay-time capacity
+        # override pins schedule_capacity_bytes to the nominal value, so
+        # reading it here never lets a replay knob reshape the schedule.
+        if self.schedule_capacity_bytes is not None:  # repro: identity-exempt[CacheConfig.schedule_capacity_bytes] pinned to nominal by build_config when capacity is overridden
+            return self.schedule_capacity_bytes  # repro: identity-exempt[CacheConfig.schedule_capacity_bytes] pinned to nominal by build_config when capacity is overridden
+        return self.capacity_bytes  # repro: identity-exempt[CacheConfig.capacity_bytes] fallback only when no override pinned a schedule capacity, i.e. capacity is nominal
 
     @property
     def num_sets(self) -> int:
@@ -83,7 +86,11 @@ class CacheConfig:
     @property
     def num_lines(self) -> int:
         """Total number of cachelines the cache can hold."""
-        return self.capacity_bytes // self.line_bytes
+        # Schedule-side use sizes the trace at nominal capacity; capacity
+        # overrides replay against the capacity spectrum instead of
+        # re-planning, and line size is a structural constant (never
+        # overridable), so neither read can desynchronise a cache key.
+        return self.capacity_bytes // self.line_bytes  # repro: identity-exempt[CacheConfig.capacity_bytes, CacheConfig.line_bytes] schedule sizes traces at nominal capacity; line size is structural
 
     def scaled(self, factor: float) -> "CacheConfig":
         """Return a copy whose capacity is scaled by ``factor``.

@@ -379,7 +379,7 @@ class RunSpec:
     def to_dict(self) -> Dict[str, object]:
         """Round-trip serialisation (see :meth:`from_dict`)."""
         data = self.key()
-        data["tag"] = self.tag
+        data["tag"] = self.tag  # repro: identity-exempt[RunSpec.tag] human-facing label only; results and scenario_id are tag-invariant by design
         return data
 
     @classmethod

@@ -18,7 +18,12 @@ Subcommands:
 * ``bench`` — time the built-in scenario packs under the vectorized
   trace-replay engine and the legacy (pre-vectorization) path, and write a
   ``BENCH_*.json`` performance-trajectory document;
-* ``stats`` — pretty-print a ``metrics.json`` telemetry document.
+* ``stats`` — pretty-print a ``metrics.json`` telemetry document;
+* ``lint`` — run the AST invariant battery (``--changed`` lints only
+  git-modified files for pre-commit use);
+* ``audit`` — render the interprocedural identity-flow evidence: derived
+  stage read-sets, identity coverage per class, the replay-knob partition,
+  and the exemption ledger (text or the ``identity-audit`` JSON document).
 
 Observability controls (see :mod:`repro.telemetry`):
 
@@ -436,7 +441,35 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list the active rule battery and exit",
     )
+    lint_parser.add_argument(
+        "--changed",
+        action="store_true",
+        help=(
+            "lint only files modified per `git diff --name-only HEAD` that "
+            "fall under the given targets (fast pre-commit mode)"
+        ),
+    )
     lint_parser.set_defaults(func=_cmd_lint)
+
+    audit_parser = subparsers.add_parser(
+        "audit",
+        help=(
+            "derive the identity-flow read-sets and coverage table "
+            "(F1-F3 evidence; see INVARIANTS.md)"
+        ),
+    )
+    audit_parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files/directories to audit (default: src)",
+    )
+    audit_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the versioned identity-audit JSON document instead of text",
+    )
+    audit_parser.set_defaults(func=_cmd_audit)
 
     stats_parser = subparsers.add_parser(
         "stats", help="pretty-print a metrics.json telemetry document"
@@ -806,6 +839,36 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _changed_lint_targets(targets: Sequence[str]) -> List[str]:
+    """Modified ``.py`` files (per ``git diff HEAD``) under ``targets``."""
+    import subprocess
+
+    try:
+        proc = subprocess.run(
+            ["git", "diff", "--name-only", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError) as exc:
+        raise ReproError(
+            f"lint --changed needs a git checkout: git diff failed ({exc})"
+        ) from exc
+    roots = [Path(target).resolve() for target in targets]
+    changed: List[str] = []
+    for line in proc.stdout.splitlines():
+        name = line.strip()
+        if not name.endswith(".py"):
+            continue
+        candidate = Path(name)
+        if not candidate.is_file():
+            continue  # deleted/renamed-away files have nothing to lint
+        resolved = candidate.resolve()
+        if any(resolved == root or root in resolved.parents for root in roots):
+            changed.append(name)
+    return sorted(changed)
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     # Imported lazily: the linter is a dev-facing tool; keep `repro run`
     # startup free of it.
@@ -822,13 +885,33 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         for rule in rules:
             OUT.data(f"{rule.rule_id:<4} {rule.name:<34} {rule.summary}")
         return 0
-    report = run_lint(args.paths, rules=rules)
+    paths = list(args.paths)
+    if args.changed:
+        paths = _changed_lint_targets(paths)
+        if not paths:
+            OUT.info("lint --changed: no modified python files under the targets")
+            return 0
+    report = run_lint(paths, rules=rules)
     if args.json:
         OUT.data(json.dumps(findings_document(report), indent=2, sort_keys=True))
     else:
         for line in render_findings(report):
             OUT.data(line)
         OUT.info(render_summary(report))
+    return 0 if report.ok else 1
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    # Lazy for the same reason as `lint`: dev-facing tooling stays off the
+    # `repro run` import path.
+    from repro.analysis import audit_document, render_audit, run_audit
+
+    report = run_audit(args.paths)
+    if args.json:
+        OUT.data(json.dumps(audit_document(report), indent=2, sort_keys=True))
+    else:
+        for line in render_audit(report):
+            OUT.data(line)
     return 0 if report.ok else 1
 
 

@@ -1,0 +1,25 @@
+"""Should-flag fixture for F1: a stage reads a field the identity omits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    dataset: str
+    seed: int
+    tag: str
+
+    def key(self) -> Dict[str, object]:
+        return {"dataset": self.dataset, "seed": self.seed}
+
+
+def build_context(spec: RunSpec) -> int:
+    return len(spec.dataset)
+
+
+def schedule(spec: RunSpec) -> int:
+    # Leak: ``tag`` shapes the result but is absent from key().
+    return len(spec.tag)

@@ -1,0 +1,24 @@
+"""Should-pass fixture for F1: every stage read is covered or ledgered."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    dataset: str
+    seed: int
+    tag: str
+
+    def key(self) -> Dict[str, object]:
+        return {"dataset": self.dataset, "seed": self.seed}
+
+
+def build_context(spec: RunSpec) -> int:
+    return len(spec.dataset)
+
+
+def schedule(spec: RunSpec) -> int:
+    return len(spec.tag)  # repro: identity-exempt[RunSpec.tag] display label; never reaches a computation

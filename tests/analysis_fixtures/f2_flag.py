@@ -1,0 +1,38 @@
+"""Should-flag fixture for F2: a schedule-side read classed as a replay knob."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping
+
+SUPPORTED_OVERRIDES = ("cache_ways", "latency_cycles")
+
+#: Leak: ``cache_ways`` writes a field the schedule stage reads.
+REPLAY_KNOB_OVERRIDES = frozenset({"cache_ways", "latency_cycles"})
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    ways: int
+    latency_cycles: int
+
+
+def build_config(overrides: Mapping[str, object]) -> CacheConfig:
+    cache = CacheConfig(ways=4, latency_cycles=2)
+    if "cache_ways" in overrides:
+        cache = replace(cache, ways=int(overrides["cache_ways"]))  # type: ignore[call-overload]
+    if "latency_cycles" in overrides:
+        cache = replace(cache, latency_cycles=int(overrides["latency_cycles"]))  # type: ignore[call-overload]
+    return cache
+
+
+def build_context(config: CacheConfig) -> int:
+    return config.ways
+
+
+def schedule(config: CacheConfig) -> int:
+    return 1
+
+
+def replay(config: CacheConfig) -> int:
+    return config.latency_cycles

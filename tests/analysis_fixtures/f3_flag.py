@@ -1,0 +1,19 @@
+"""Should-flag fixture for F3: a stage reads a mutable module global."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+_active_mode = "fast"
+
+
+def set_active_mode(name: str) -> None:
+    global _active_mode
+    _active_mode = name
+
+
+def replay(trace: Sequence[int]) -> int:
+    # Leak: the memoized path branches on un-keyed module state.
+    if _active_mode == "fast":
+        return len(trace)
+    return sum(trace)

@@ -1,0 +1,8 @@
+"""Fixture: a noqa on the decorator line silences the def-line finding."""
+
+import functools
+
+
+@functools.lru_cache(maxsize=None)  # repro: noqa[S1] decorator-line suppression fixture
+def lookup(values=[]):
+    return len(values)

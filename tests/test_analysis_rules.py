@@ -22,6 +22,9 @@ PAIRS = {
     "S3": ("s3_flag.py", "s3_pass.py", 1),
     "C1": ("c1_flag.py", "c1_pass.py", 2),
     "R1": ("r1_flag.py", "r1_pass.py", 2),
+    "F1": ("f1_flag.py", "f1_pass.py", 1),
+    "F2": ("f2_flag.py", "f2_pass.py", 1),
+    "F3": ("f3_flag.py", "f3_pass.py", 1),
 }
 
 
@@ -70,6 +73,13 @@ def test_noqa_fixture_suppresses_the_n1_finding():
     silenced = run_lint([FIXTURES / "n1_noqa.py"], get_rules(["N1"]))
     assert len(flagged.findings) == 1
     assert silenced.ok
+
+
+def test_noqa_on_decorator_line_covers_the_def_line():
+    # The S1 finding lands on the ``def`` line; the noqa sits on the
+    # decorator line above it — span normalisation must connect the two.
+    report = run_lint([FIXTURES / "s1_noqa_decorator.py"], get_rules(["S1"]))
+    assert report.ok, [finding.location() for finding in report.findings]
 
 
 def test_whole_fixture_directory_is_noisy():
